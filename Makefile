@@ -1,0 +1,40 @@
+# MedSen build targets. The module is stdlib-only; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B pass per paper figure/experiment (quick scale).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Short fuzz passes over every wire-format parser.
+fuzz:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/accessory
+	$(GO) test -fuzz FuzzDecodeAcquisition -fuzztime 30s ./internal/csvio
+	$(GO) test -fuzz FuzzUnmarshalSchedule -fuzztime 30s ./internal/cipher
+	$(GO) test -fuzz FuzzImportShared -fuzztime 30s ./internal/cipher
+
+# Regenerate the paper's full evaluation (minutes).
+experiments:
+	$(GO) run ./cmd/medsen-bench
+
+clean:
+	$(GO) clean ./...

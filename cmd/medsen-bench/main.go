@@ -1,0 +1,197 @@
+// Command medsen-bench regenerates the paper's evaluation: every figure
+// (7, 8, 11–16), the in-text numbers (Eq. 2 key sizing, §VII-B compression,
+// the ~0.2 s end-to-end time, §VII-C authentication accuracy) and the
+// ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	medsen-bench                 # everything, full scale
+//	medsen-bench -quick          # everything, test scale
+//	medsen-bench -fig 12         # one figure
+//	medsen-bench -exp e2e        # one in-text experiment
+//	medsen-bench -exp ablations  # the ablation suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"medsen/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: 5, 7, 8, 11, 12, 13, 14, 15, 16 (empty = all)")
+		exp   = flag.String("exp", "", "experiment: keysize, compression, e2e, repeatability, auth, ablations (empty = all)")
+		quick = flag.Bool("quick", false, "test-scale workloads")
+		seed  = flag.Uint64("seed", 2016, "deterministic experiment seed")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Quick: *quick}
+	if err := runSelection(o, *fig, *exp); err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-bench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func runSelection(o experiments.Options, fig, exp string) error {
+	all := fig == "" && exp == ""
+	w := os.Stdout
+
+	figures := map[string]func() error{
+		"5": func() error {
+			r, err := experiments.DesignComparison(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintDesignComparison(w, r)
+			return nil
+		},
+		"7": func() error {
+			r, err := experiments.Fig07SingleCellDrop(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig07(w, r)
+			return nil
+		},
+		"8": func() error {
+			r, err := experiments.Fig08FivePeakSignature(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig08(w, r)
+			return nil
+		},
+		"11": func() error {
+			r, err := experiments.Fig11EncryptedSignatures(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig11(w, r)
+			return nil
+		},
+		"12": func() error {
+			r, err := experiments.Fig12BeadCounts780(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCountSweep(w, "Fig. 12", r)
+			return nil
+		},
+		"13": func() error {
+			r, err := experiments.Fig13BeadCounts358(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCountSweep(w, "Fig. 13", r)
+			return nil
+		},
+		"14": func() error {
+			r, err := experiments.Fig14PeakAnalysisPerformance(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig14(w, r)
+			return nil
+		},
+		"15": func() error {
+			r, err := experiments.Fig15ImpedanceSpectra(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig15(w, r)
+			return nil
+		},
+		"16": func() error {
+			r, err := experiments.Fig16Clusters(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig16(w, r)
+			return nil
+		},
+	}
+	exps := map[string]func() error{
+		"keysize": func() error {
+			r, err := experiments.KeySizeAccounting(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintKeySize(w, r)
+			return nil
+		},
+		"compression": func() error {
+			r, err := experiments.CompressionExperiment(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCompression(w, r)
+			return nil
+		},
+		"e2e": func() error {
+			r, err := experiments.EndToEndTiming(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintEndToEnd(w, r)
+			return nil
+		},
+		"repeatability": func() error {
+			r, err := experiments.Repeatability(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintRepeatability(w, r)
+			return nil
+		},
+		"auth": func() error {
+			r, err := experiments.AuthAccuracy(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAuthAccuracy(w, r)
+			return nil
+		},
+		"ablations": func() error {
+			return experiments.PrintAblations(w, o)
+		},
+	}
+
+	runOne := func(kind, key string, table map[string]func() error) error {
+		fn, ok := table[key]
+		if !ok {
+			return fmt.Errorf("unknown %s %q", kind, key)
+		}
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s %s: %w", kind, key, err)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+
+	if !all {
+		if fig != "" {
+			return runOne("figure", fig, figures)
+		}
+		return runOne("experiment", exp, exps)
+	}
+	for _, key := range []string{"5", "7", "8", "11", "12", "13", "14", "15", "16"} {
+		if err := runOne("figure", key, figures); err != nil {
+			return err
+		}
+	}
+	for _, key := range []string{"keysize", "compression", "e2e", "repeatability", "auth", "ablations"} {
+		if err := runOne("experiment", key, exps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"medsen/internal/experiments"
+)
+
+func TestRunSelectionSingleFigure(t *testing.T) {
+	o := experiments.Options{Seed: 2016, Quick: true}
+	if err := runSelection(o, "8", ""); err != nil {
+		t.Fatalf("figure 8: %v", err)
+	}
+	if err := runSelection(o, "", "keysize"); err != nil {
+		t.Fatalf("keysize: %v", err)
+	}
+}
+
+func TestRunSelectionUnknownTargets(t *testing.T) {
+	o := experiments.Options{Seed: 1, Quick: true}
+	if err := runSelection(o, "99", ""); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := runSelection(o, "", "nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

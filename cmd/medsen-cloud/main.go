@@ -1,0 +1,48 @@
+// Command medsen-cloud runs the untrusted analysis service: it accepts
+// zip-compressed measurement uploads, executes the peak-detection pipeline,
+// serves stored reports, and performs cyto-coded authentication against its
+// enrollment registry.
+//
+// Usage:
+//
+//	medsen-cloud [-addr :8077]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"medsen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8077", "listen address")
+	flag.Parse()
+
+	svc, err := medsen.NewCloudService()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+		return 1
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("medsen-cloud: analysis service listening on %s", *addr)
+	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses, GET /api/v1/analyses/{id}, " +
+		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses")
+	if err := server.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+		return 1
+	}
+	return 0
+}

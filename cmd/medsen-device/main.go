@@ -1,0 +1,227 @@
+// Command medsen-device simulates a complete MedSen dongle run: it draws a
+// blood sample at the given concentration, generates a fresh key schedule,
+// acquires the encrypted measurements, ships them to the analysis backend
+// (a medsen-cloud instance, or the on-device analyzer with -local), decrypts
+// the returned peak report and prints the diagnosis.
+//
+// Usage:
+//
+//	medsen-device -local -conc 350 -duration 120
+//	medsen-device -cloud http://localhost:8077 -conc 150 -duration 180
+//	medsen-device -cloud http://localhost:8077 -enroll alice    # issue+register a password
+//	medsen-device -cloud http://localhost:8077 -auth            # authenticate by pipette beads
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"medsen"
+	"medsen/internal/controller"
+	"medsen/internal/diagnosis"
+	"medsen/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		cloudURL = flag.String("cloud", "", "base URL of a medsen-cloud service")
+		local    = flag.Bool("local", false, "analyze on-device instead of in the cloud")
+		conc     = flag.Float64("conc", 350, "blood cell concentration (cells/µL)")
+		duration = flag.Float64("duration", 120, "acquisition window (seconds)")
+		dilution = flag.Float64("dilution", 1, "pre-measurement sample dilution factor")
+		seed     = flag.Uint64("seed", 0, "deterministic seed (0 = OS entropy)")
+		enroll   = flag.String("enroll", "", "issue a new cyto-coded password for this user and register it")
+		auth     = flag.Bool("auth", false, "authenticate by the password beads in the pipette file")
+		pipette  = flag.String("pipette", "medsen-pipette.json", "file holding the issued password identifier")
+		records  = flag.String("records", "", "append diagnostic outcomes to this JSONL record log")
+		report   = flag.Bool("report", false, "render a practitioner report from -records and exit")
+	)
+	flag.Parse()
+
+	if *report {
+		if err := renderReport(*records); err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-device: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := runDevice(*cloudURL, *local, *conc, *duration, *dilution, *seed, *enroll, *auth, *pipette, *records); err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-device: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// pipetteFile is the on-disk form of an issued password: what enrollment
+// loads into the patient's pipette supply.
+type pipetteFile struct {
+	UserID     string         `json:"user_id"`
+	Identifier map[string]int `json:"identifier"`
+}
+
+func savePipette(path, user string, id medsen.Identifier) error {
+	doc := pipetteFile{UserID: user, Identifier: make(map[string]int, len(id))}
+	for t, lv := range id {
+		doc.Identifier[t.String()] = lv
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+func loadPipette(path string) (string, medsen.Identifier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var doc pipetteFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", nil, fmt.Errorf("parsing pipette file: %w", err)
+	}
+	id := make(medsen.Identifier, len(doc.Identifier))
+	for name, lv := range doc.Identifier {
+		t, err := medsen.ParticleTypeFromName(name)
+		if err != nil {
+			return "", nil, err
+		}
+		id[t] = lv
+	}
+	return doc.UserID, id, nil
+}
+
+func renderReport(recordsPath string) error {
+	if recordsPath == "" {
+		return fmt.Errorf("-report requires -records")
+	}
+	out, err := report.Render(&controller.RecordLog{Path: recordsPath}, report.Options{
+		Panel: diagnosis.CD4Panel(),
+		Now:   time.Now(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runDevice(cloudURL string, local bool, conc, duration, dilution float64, seed uint64, enroll string, auth bool, pipette, records string) error {
+	opts := []medsen.DeviceOption{
+		medsen.WithNotify(func(s string) { fmt.Printf("  [device] %s\n", s) }),
+	}
+	if seed != 0 {
+		opts = append(opts, medsen.WithSeed(seed))
+	}
+	device, err := medsen.NewDevice(opts...)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	if enroll != "" {
+		if cloudURL == "" {
+			return fmt.Errorf("-enroll requires -cloud")
+		}
+		id, err := device.NewIdentifier()
+		if err != nil {
+			return err
+		}
+		if err := medsen.NewCloudClient(cloudURL).Enroll(ctx, enroll, id); err != nil {
+			return err
+		}
+		if err := savePipette(pipette, enroll, id); err != nil {
+			return err
+		}
+		fmt.Printf("enrolled %q with cyto-coded password %s\n", enroll, id)
+		fmt.Printf("pipette identifier written to %s (in deployment: loaded into the pipette supply)\n", pipette)
+		return nil
+	}
+
+	if auth {
+		if cloudURL == "" {
+			return fmt.Errorf("-auth requires -cloud")
+		}
+		user, id, err := loadPipette(pipette)
+		if err != nil {
+			return fmt.Errorf("loading pipette (run -enroll first): %w", err)
+		}
+		blood := medsen.NewBloodSample(10, conc)
+		mixed, err := device.MixPassword(id, blood)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("acquiring %s's bead-coded sample (plaintext mode, %.0f s)\n", user, duration)
+		acq, err := device.AcquirePlaintext(mixed, duration)
+		if err != nil {
+			return err
+		}
+		client := medsen.NewCloudClient(cloudURL)
+		sub, err := client.SubmitAcquisition(ctx, acq)
+		if err != nil {
+			return err
+		}
+		res, err := client.Authenticate(ctx, sub.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("authenticated=%v matched account=%q (bead counts: %v)\n",
+			res.Authenticated, res.UserID, res.CountsByType)
+		if !res.Authenticated || res.UserID != user {
+			return fmt.Errorf("authentication failed for %q", user)
+		}
+		return nil
+	}
+
+	blood := medsen.NewBloodSample(10, conc)
+	var analyzer medsen.Analyzer
+	switch {
+	case local:
+		analyzer = medsen.NewLocalAnalyzer()
+	case cloudURL != "":
+		analyzer = medsen.NewPhoneRelay(cloudURL)
+	default:
+		return fmt.Errorf("pass -local or -cloud URL")
+	}
+
+	res, err := device.RunDiagnostic(ctx, medsen.RunConfig{
+		Sample:         blood,
+		DurationS:      duration,
+		SampleDilution: dilution,
+	}, analyzer)
+	if err != nil {
+		return err
+	}
+
+	if records != "" {
+		log := &controller.RecordLog{Path: records}
+		if err := log.Append(time.Now(), res); err != nil {
+			return err
+		}
+		fmt.Printf("result appended to %s\n", records)
+	}
+
+	fmt.Println()
+	fmt.Printf("diagnosis: %s (%s)\n", res.Diagnosis.Label, res.Diagnosis.Severity)
+	fmt.Printf("recovered concentration: %.0f %s\n", res.Diagnosis.ConcentrationPerUl, "cells/µL")
+	fmt.Printf("true cells counted: %d (the cloud saw %d ciphertext peaks)\n",
+		res.CellCount, res.CiphertextPeaks)
+	fmt.Printf("post-acquisition time: %.3f s (analysis %.3f s, decryption %.6f s)\n",
+		res.Timing.PostAcquisition.Seconds(), res.Timing.Analyze.Seconds(), res.Timing.Decrypt.Seconds())
+
+	out, err := json.MarshalIndent(res.Diagnosis, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result JSON: %s\n", out)
+	return nil
+}

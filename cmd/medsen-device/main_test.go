@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"medsen"
+)
+
+func TestPipetteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pipette.json")
+	id := medsen.Identifier{medsen.Bead358: 2, medsen.Bead780: 4}
+	if err := savePipette(path, "alice", id); err != nil {
+		t.Fatalf("savePipette: %v", err)
+	}
+	user, got, err := loadPipette(path)
+	if err != nil {
+		t.Fatalf("loadPipette: %v", err)
+	}
+	if user != "alice" || !got.Equal(id) {
+		t.Fatalf("round trip: user=%q id=%v", user, got)
+	}
+}
+
+func TestLoadPipetteErrors(t *testing.T) {
+	if _, _, err := loadPipette(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFileHelper(bad, `{"user_id":"u","identifier":{"unobtainium":1}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPipette(bad); err == nil {
+		t.Error("expected error for unknown particle name")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := writeFileHelper(garbage, "not-json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPipette(garbage); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+}
+
+func TestRenderReportValidation(t *testing.T) {
+	if err := renderReport(""); err == nil {
+		t.Error("expected error without -records")
+	}
+	if err := renderReport(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("expected error for empty record log")
+	}
+}
+
+func writeFileHelper(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o600)
+}

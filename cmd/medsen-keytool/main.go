@@ -1,0 +1,188 @@
+// Command medsen-keytool manages MedSen key schedules outside a diagnostic
+// run: generate a schedule for a planned acquisition, inspect one, and seal
+// or open practitioner shares (§VII-B key sharing).
+//
+// Usage:
+//
+//	medsen-keytool gen -duration 120 -out schedule.msk
+//	medsen-keytool inspect -in schedule.msk
+//	medsen-keytool seal -in schedule.msk -out share.msks -passphrase s3cret
+//	medsen-keytool open -in share.msks -out schedule.msk -passphrase s3cret
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"medsen/internal/cipher"
+	"medsen/internal/drbg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "gen":
+		err = cmdGen(args[1:])
+	case "inspect":
+		err = cmdInspect(args[1:])
+	case "seal":
+		err = cmdSeal(args[1:])
+	case "open":
+		err = cmdOpen(args[1:])
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-keytool: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: medsen-keytool <gen|inspect|seal|open> [flags]")
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	duration := fs.Float64("duration", 120, "acquisition window the schedule covers (seconds)")
+	electrodes := fs.Int("electrodes", 9, "keyed output electrodes")
+	epoch := fs.Float64("epoch", 1.0, "key renewal period (seconds)")
+	out := fs.String("out", "", "output file (required)")
+	seed := fs.Uint64("seed", 0, "deterministic seed (0 = OS entropy)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	p := cipher.ParamsForArray(*electrodes)
+	p.EpochS = *epoch
+	var rng *drbg.DRBG
+	if *seed != 0 {
+		rng = drbg.NewFromSeed(*seed)
+	} else {
+		var err error
+		rng, err = drbg.NewFromEntropy()
+		if err != nil {
+			return err
+		}
+	}
+	sched, err := cipher.Generate(p, *duration, rng)
+	if err != nil {
+		return err
+	}
+	data, err := sched.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d epochs, %d bits of key material\n",
+		*out, len(sched.Epochs), sched.ScheduleBits())
+	return nil
+}
+
+func loadSchedule(path string) (*cipher.Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sched cipher.Schedule
+	if err := sched.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &sched, nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	in := fs.String("in", "", "schedule file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	sched, err := loadSchedule(*in)
+	if err != nil {
+		return err
+	}
+	p := sched.Params
+	fmt.Printf("schedule: %.1f s over %d epochs of %.2f s\n",
+		sched.DurationS, len(sched.Epochs), p.EpochS)
+	fmt.Printf("electrodes: %d (min active %d, avoid-adjacent %v)\n",
+		p.NumElectrodes, p.MinActive, p.AvoidAdjacent)
+	fmt.Printf("gains: %d levels in [%.2f, %.2f]; flow speeds: %d levels in [%.2f, %.2f]\n",
+		p.GainLevels, p.GainMin, p.GainMax, p.SpeedLevels, p.SpeedMin, p.SpeedMax)
+	fmt.Printf("key material: %d bits (%.3f KB)\n",
+		sched.ScheduleBits(), float64(sched.ScheduleBits())/8/1e3)
+	return nil
+}
+
+func cmdSeal(args []string) error {
+	fs := flag.NewFlagSet("seal", flag.ContinueOnError)
+	in := fs.String("in", "", "schedule file (required)")
+	out := fs.String("out", "", "share output file (required)")
+	passphrase := fs.String("passphrase", "", "share passphrase (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *passphrase == "" {
+		return fmt.Errorf("seal: -in, -out and -passphrase are required")
+	}
+	sched, err := loadSchedule(*in)
+	if err != nil {
+		return err
+	}
+	blob, err := sched.ExportShared(*passphrase)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("sealed %s → %s (%d bytes, AES-256-GCM)\n", *in, *out, len(blob))
+	return nil
+}
+
+func cmdOpen(args []string) error {
+	fs := flag.NewFlagSet("open", flag.ContinueOnError)
+	in := fs.String("in", "", "share file (required)")
+	out := fs.String("out", "", "schedule output file (required)")
+	passphrase := fs.String("passphrase", "", "share passphrase (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *passphrase == "" {
+		return fmt.Errorf("open: -in, -out and -passphrase are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	sched, err := cipher.ImportShared(blob, *passphrase)
+	if err != nil {
+		return err
+	}
+	data, err := sched.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("opened %s → %s (%d epochs)\n", *in, *out, len(sched.Epochs))
+	return nil
+}

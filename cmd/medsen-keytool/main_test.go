@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeytoolLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	sched := filepath.Join(dir, "k.msk")
+	share := filepath.Join(dir, "k.msks")
+	opened := filepath.Join(dir, "k2.msk")
+
+	if code := run([]string{"gen", "-duration", "30", "-seed", "9", "-out", sched}); code != 0 {
+		t.Fatalf("gen exited %d", code)
+	}
+	if code := run([]string{"inspect", "-in", sched}); code != 0 {
+		t.Fatalf("inspect exited %d", code)
+	}
+	if code := run([]string{"seal", "-in", sched, "-out", share, "-passphrase", "pw"}); code != 0 {
+		t.Fatalf("seal exited %d", code)
+	}
+	if code := run([]string{"open", "-in", share, "-out", opened, "-passphrase", "pw"}); code != 0 {
+		t.Fatalf("open exited %d", code)
+	}
+	a, err := os.ReadFile(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(opened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("seal/open round trip corrupted the schedule")
+	}
+}
+
+func TestKeytoolErrors(t *testing.T) {
+	if code := run(nil); code == 0 {
+		t.Error("no args should fail")
+	}
+	if code := run([]string{"frobnicate"}); code == 0 {
+		t.Error("unknown command should fail")
+	}
+	if code := run([]string{"gen"}); code == 0 {
+		t.Error("gen without -out should fail")
+	}
+	if code := run([]string{"inspect", "-in", "/nonexistent"}); code == 0 {
+		t.Error("inspect of missing file should fail")
+	}
+	dir := t.TempDir()
+	sched := filepath.Join(dir, "k.msk")
+	if code := run([]string{"gen", "-duration", "5", "-seed", "1", "-out", sched}); code != 0 {
+		t.Fatal("gen failed")
+	}
+	share := filepath.Join(dir, "k.msks")
+	if code := run([]string{"seal", "-in", sched, "-out", share, "-passphrase", "pw"}); code != 0 {
+		t.Fatal("seal failed")
+	}
+	if code := run([]string{"open", "-in", share, "-out", filepath.Join(dir, "x"), "-passphrase", "wrong"}); code == 0 {
+		t.Error("wrong passphrase should fail")
+	}
+}

@@ -1,0 +1,107 @@
+// Monitoring: the paper's motivating scenario — "elderly patients with
+// regular diagnostic/testing prescriptions" running daily tests (§I, §VI-B).
+//
+// A patient with a slowly declining CD4 count runs a private diagnostic
+// every day for two weeks. Each run is individually just a threshold
+// comparison; the trend tracker accumulates them, fits the decline, and
+// projects when the next clinical boundary will be crossed. Finally the
+// patient shares one day's key schedule with their practitioner (§VII-B's
+// "sharing of the generated keys with trusted parties"), sealed under a
+// passphrase.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"medsen"
+	"medsen/internal/cipher"
+	"medsen/internal/diagnosis"
+	"medsen/internal/drbg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "monitoring: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	device, err := medsen.NewDevice(medsen.WithSeed(2016))
+	if err != nil {
+		return err
+	}
+	history, err := diagnosis.NewHistory(diagnosis.CD4Panel())
+	if err != nil {
+		return err
+	}
+	analyzer := medsen.NewLocalAnalyzer()
+	ctx := context.Background()
+
+	// Ground truth: the patient declines from 620 to 490 cells/µL over
+	// two weeks (−10/day).
+	start := time.Date(2016, 6, 1, 9, 0, 0, 0, time.UTC)
+	fmt.Println("day  true conc  measured  band")
+	for dayN := 0; dayN < 14; dayN++ {
+		trueConc := 620 - 10*float64(dayN)
+		// Dense healthy-range blood is pre-diluted 2× for single-file
+		// transport; the controller scales the result back.
+		sample := medsen.NewBloodSample(10, trueConc/2)
+		res, err := device.RunDiagnostic(ctx, medsen.RunConfig{
+			Sample:         sample,
+			DurationS:      300,
+			SampleDilution: 2,
+		}, analyzer)
+		if err != nil {
+			return err
+		}
+		obs := diagnosis.Observation{
+			Time:               start.AddDate(0, 0, dayN),
+			ConcentrationPerUl: res.Diagnosis.ConcentrationPerUl,
+		}
+		if err := history.Add(obs); err != nil {
+			return err
+		}
+		fmt.Printf("%3d  %9.0f  %8.0f  %s\n",
+			dayN, trueConc, obs.ConcentrationPerUl, res.Diagnosis.Label)
+	}
+
+	proj, err := history.Project()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("fitted trend: %+.1f cells/µL per day (truth: -10)\n", proj.SlopePerDay)
+	if proj.Deteriorating {
+		fmt.Printf("projection: entering %q in %.0f days — flag for the practitioner\n",
+			proj.CrossingBand.Label, proj.DaysToCrossing)
+	} else {
+		fmt.Println("projection: stable or improving")
+	}
+
+	// Share today's key schedule with the practitioner so they can
+	// decrypt the cloud-stored analysis themselves.
+	sched, err := cipher.Generate(device.Controller.Params, 120, drbg.NewFromSeed(77))
+	if err != nil {
+		return err
+	}
+	blob, err := sched.ExportShared("practitioner-and-patient-shared-secret")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nkey schedule sealed for the practitioner: %d bytes (AES-256-GCM under PBKDF2)\n", len(blob))
+	if _, err := cipher.ImportShared(blob, "practitioner-and-patient-shared-secret"); err != nil {
+		return err
+	}
+	fmt.Println("practitioner opened the share and can now decrypt the stored analysis")
+	if _, err := cipher.ImportShared(blob, "guess"); err == nil {
+		return fmt.Errorf("wrong passphrase must not open the share")
+	}
+	fmt.Println("a wrong passphrase is rejected (authenticated encryption)")
+	return nil
+}

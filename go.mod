@@ -1,0 +1,3 @@
+module medsen
+
+go 1.22

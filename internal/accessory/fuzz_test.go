@@ -1,0 +1,34 @@
+package accessory
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the frame decoder: arbitrary bytes must yield an
+// error or a valid frame, never a panic, and accepted frames must re-encode
+// to the consumed bytes.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: FrameData, Payload: []byte("payload")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic0, frameMagic1})
+	f.Add(bytes.Repeat([]byte{0xA0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteFrame(&re, frame); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.HasPrefix(data, re.Bytes()) {
+			t.Fatal("re-encoded frame does not match consumed bytes")
+		}
+	})
+}

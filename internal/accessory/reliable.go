@@ -1,0 +1,285 @@
+package accessory
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reliable transfer (ARQ) over a noisy transport. The base protocol detects
+// corruption via CRC32 but aborts on it; a flaky USB cable or serial link
+// should instead cost a retransmission. This file adds sequence-numbered
+// data frames with positive/negative acknowledgements and receiver-side
+// resynchronization: after a corrupt frame the receiver scans forward to the
+// next frame magic instead of losing stream framing.
+//
+// Two limitations, inherent to ARQ over a blocking byte stream with no read
+// deadline: the transport must buffer at least one frame (an unbuffered
+// synchronous pipe deadlocks the NACK against the in-flight write), and the
+// final end-marker acknowledgement is subject to the two-generals problem —
+// if it is lost, the sender retries into silence until its retry budget runs
+// out. Callers should close the transport once a transfer completes.
+
+// Additional frame types for the reliable channel.
+const (
+	// FrameDataSeq carries a 4-byte big-endian sequence number followed
+	// by the chunk payload.
+	FrameDataSeq FrameType = iota + 16
+	// FrameAckSeq acknowledges the sequence number in its payload.
+	FrameAckSeq
+	// FrameNackSeq asks for retransmission of the sequence number in its
+	// payload.
+	FrameNackSeq
+	// FrameEndSeq terminates a reliable transfer.
+	FrameEndSeq
+)
+
+// ErrTooManyRetries reports a chunk that failed every retransmission.
+var ErrTooManyRetries = errors.New("accessory: too many retransmissions")
+
+// errCorruptFrame is the soft error for a frame that arrived damaged while
+// stream framing is (believed) intact: the caller NACKs and carries on.
+var errCorruptFrame = errors.New("accessory: corrupt frame")
+
+// DefaultMaxRetries bounds per-chunk retransmissions.
+const DefaultMaxRetries = 8
+
+// reader returns the connection's buffered reader, installing it on first
+// use so resynchronization can peek ahead.
+func (c *Conn) reader() *bufio.Reader {
+	if c.br == nil {
+		c.br = bufio.NewReader(c.rw)
+	}
+	return c.br
+}
+
+// readFrameResync reads the next frame. A CRC failure consumes exactly one
+// (damaged) frame, so framing stays intact: it is reported as a soft
+// errCorruptFrame for the caller to NACK and retry. A framing loss (bad
+// magic, implausible length) desynchronizes the stream; onFramingLoss is
+// invoked exactly once (the receiver uses it to NACK so the sender
+// retransmits) and the reader then scans — blocking as needed, fresh bytes
+// are guaranteed by the NACK — until a frame parses again. It returns the
+// frame, the number of bytes discarded during resync, and the error.
+//
+// Limitation (documented, shared with every magic-scanning resync): a fake
+// magic pair inside garbage can cause a speculative parse that swallows real
+// bytes; the ARQ layer recovers via further NACKs as long as the transport
+// is buffered (a synchronous unbuffered pipe cannot carry ARQ at all).
+func (c *Conn) readFrameResync(onFramingLoss func() error) (Frame, int, error) {
+	br := c.reader()
+	skipped := 0
+	notified := false
+	for {
+		f, err := ReadFrame(br)
+		switch {
+		case err == nil:
+			return f, skipped, nil
+		case errors.Is(err, ErrBadCRC):
+			return Frame{}, skipped, errCorruptFrame
+		case errors.Is(err, ErrBadMagic) || errors.Is(err, ErrOversized):
+			if !notified && onFramingLoss != nil {
+				if nerr := onFramingLoss(); nerr != nil {
+					return Frame{}, skipped, nerr
+				}
+				notified = true
+			}
+			// Scan to the next candidate magic pair.
+			for {
+				b, perr := br.Peek(2)
+				if perr != nil {
+					return Frame{}, skipped, perr
+				}
+				if b[0] == frameMagic0 && b[1] == frameMagic1 {
+					break
+				}
+				if _, derr := br.Discard(1); derr != nil {
+					return Frame{}, skipped, derr
+				}
+				skipped++
+			}
+			// Candidate magic at the head: re-parse.
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.ErrClosedPipe):
+			return Frame{}, skipped, err
+		default:
+			return Frame{}, skipped, err
+		}
+	}
+}
+
+// SendDataReliable streams data as sequence-numbered chunks, retransmitting
+// on NACK, and returns transfer statistics.
+func (c *Conn) SendDataReliable(data []byte, maxRetries int) (frames, retransmissions int, err error) {
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	const chunkSize = MaxPayload - 4
+	seq := uint32(0)
+	for off := 0; off < len(data) || (len(data) == 0 && off == 0); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		payload := make([]byte, 4+end-off)
+		binary.BigEndian.PutUint32(payload[:4], seq)
+		copy(payload[4:], data[off:end])
+
+		delivered := false
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			if err := WriteFrame(c.rw, Frame{Type: FrameDataSeq, Payload: payload}); err != nil {
+				return frames, retransmissions, err
+			}
+			if attempt > 0 {
+				retransmissions++
+			}
+			resp, _, err := c.readFrameResync(nil)
+			if errors.Is(err, errCorruptFrame) {
+				continue // damaged response: retransmit
+			}
+			if err != nil {
+				return frames, retransmissions, err
+			}
+			switch resp.Type {
+			case FrameAckSeq:
+				if len(resp.Payload) == 4 && binary.BigEndian.Uint32(resp.Payload) == seq {
+					delivered = true
+				}
+			case FrameNackSeq:
+				// Retransmit.
+			case FrameError:
+				return frames, retransmissions, fmt.Errorf("%w: %s", ErrInterrupted, resp.Payload)
+			default:
+				// Corrupted or unexpected response: retransmit.
+			}
+			if delivered {
+				break
+			}
+		}
+		if !delivered {
+			return frames, retransmissions, fmt.Errorf("%w: chunk %d", ErrTooManyRetries, seq)
+		}
+		frames++
+		seq++
+		if len(data) == 0 {
+			break
+		}
+	}
+	// The end-of-transfer marker is acknowledged like any chunk — a
+	// corrupted end frame must not strand the receiver.
+	var endPayload [4]byte
+	binary.BigEndian.PutUint32(endPayload[:], seq)
+	for attempt := 0; ; attempt++ {
+		if attempt > maxRetries {
+			return frames, retransmissions, fmt.Errorf("%w: end marker", ErrTooManyRetries)
+		}
+		if err := WriteFrame(c.rw, Frame{Type: FrameEndSeq, Payload: endPayload[:]}); err != nil {
+			return frames, retransmissions, err
+		}
+		if attempt > 0 {
+			retransmissions++
+		}
+		resp, _, err := c.readFrameResync(nil)
+		if errors.Is(err, errCorruptFrame) {
+			continue
+		}
+		if err != nil {
+			return frames, retransmissions, err
+		}
+		if resp.Type == FrameAckSeq && len(resp.Payload) == 4 &&
+			binary.BigEndian.Uint32(resp.Payload) == seq {
+			return frames, retransmissions, nil
+		}
+		// NACK or unexpected: resend the end marker.
+	}
+}
+
+// ReceiveDataReliable consumes a reliable transfer, NACKing corrupt or
+// out-of-order chunks, and returns the reassembled payload plus the number
+// of bytes discarded during resynchronization.
+func (c *Conn) ReceiveDataReliable(onProgress func(string)) (data []byte, skippedBytes int, err error) {
+	expected := uint32(0)
+	for {
+		f, skipped, err := c.readFrameResync(func() error { return c.nack(expected) })
+		skippedBytes += skipped
+		if errors.Is(err, errCorruptFrame) {
+			// Damaged chunk (or garbage between frames): ask for the
+			// expected sequence again.
+			if err := c.nack(expected); err != nil {
+				return nil, skippedBytes, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, skippedBytes, err
+		}
+		switch f.Type {
+		case FrameDataSeq:
+			if len(f.Payload) < 4 {
+				if err := c.nack(expected); err != nil {
+					return nil, skippedBytes, err
+				}
+				continue
+			}
+			seq := binary.BigEndian.Uint32(f.Payload[:4])
+			switch {
+			case seq == expected:
+				data = append(data, f.Payload[4:]...)
+				if err := c.ack(seq); err != nil {
+					return nil, skippedBytes, err
+				}
+				expected++
+			case seq < expected:
+				// Duplicate after a lost ack: re-ack, drop.
+				if err := c.ack(seq); err != nil {
+					return nil, skippedBytes, err
+				}
+			default:
+				if err := c.nack(expected); err != nil {
+					return nil, skippedBytes, err
+				}
+			}
+		case FrameProgress:
+			if onProgress != nil {
+				onProgress(string(f.Payload))
+			}
+		case FrameEndSeq:
+			// Acknowledge so the sender can finish; the end marker
+			// carries the chunk count it terminates.
+			endSeq := expected
+			if len(f.Payload) == 4 {
+				endSeq = binary.BigEndian.Uint32(f.Payload)
+			}
+			if endSeq != expected {
+				// Chunks are missing: ask for the next one.
+				if err := c.nack(expected); err != nil {
+					return nil, skippedBytes, err
+				}
+				continue
+			}
+			if err := c.ack(endSeq); err != nil {
+				return nil, skippedBytes, err
+			}
+			return data, skippedBytes, nil
+		case FrameError:
+			return nil, skippedBytes, fmt.Errorf("%w: %s", ErrInterrupted, f.Payload)
+		default:
+			if err := c.nack(expected); err != nil {
+				return nil, skippedBytes, err
+			}
+		}
+	}
+}
+
+func (c *Conn) ack(seq uint32) error {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], seq)
+	return WriteFrame(c.rw, Frame{Type: FrameAckSeq, Payload: p[:]})
+}
+
+func (c *Conn) nack(seq uint32) error {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], seq)
+	return WriteFrame(c.rw, Frame{Type: FrameNackSeq, Payload: p[:]})
+}

@@ -1,0 +1,189 @@
+package cipher
+
+import (
+	"math"
+	"sort"
+
+	"medsen/internal/sigproc"
+)
+
+// Attack simulations for the curious-but-honest analyst of §IV-A. Each
+// attack is a concrete implementation of an inference strategy the paper
+// discusses, used by the security evaluation and the ablation benches to
+// show which cipher component (E, G or S randomization) defeats it.
+//
+// Every attack sees only what the cloud sees: the peak report (times,
+// amplitudes, widths) of the ciphertext signal. None receives key material.
+
+// AttackResult is an adversarial estimate of the hidden true particle count.
+type AttackResult struct {
+	// EstimatedCount is the attacker's best guess of the true count.
+	EstimatedCount int
+	// InferredFactor is the peak multiplication factor the attacker
+	// believes was in effect (0 when the attack does not infer one).
+	InferredFactor int
+}
+
+// RelativeError returns |estimate − truth| / truth (1 when truth is 0 and
+// the estimate is not).
+func (r AttackResult) RelativeError(trueCount int) float64 {
+	if trueCount == 0 {
+		if r.EstimatedCount == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(float64(r.EstimatedCount-trueCount)) / float64(trueCount)
+}
+
+// EqualAmplitudeRunAttack implements the §IV-A "consecutive peaks of the
+// exact same amplitude" strategy: a particle crossing k active gaps with
+// *unit gains* produces a run of k near-identical amplitudes, so the run
+// length reveals the multiplication factor. Random per-electrode gains
+// destroy the runs and the attack collapses.
+//
+// tolerance is the relative amplitude difference within which the attacker
+// considers two consecutive peaks "the same" (e.g. 0.05 for 5%).
+func EqualAmplitudeRunAttack(peaks []sigproc.Peak, tolerance float64) AttackResult {
+	if len(peaks) == 0 {
+		return AttackResult{}
+	}
+	sorted := sortPeaksByTime(peaks)
+	runLengths := runLengths(sorted, func(a, b sigproc.Peak) bool {
+		return relDiff(a.Amplitude, b.Amplitude) <= tolerance
+	})
+	factor := modeInt(runLengths)
+	if factor < 1 {
+		factor = 1
+	}
+	return AttackResult{
+		EstimatedCount: int(math.Round(float64(len(peaks)) / float64(factor))),
+		InferredFactor: factor,
+	}
+}
+
+// WidthClusterAttack implements the §IV-A width strategy: peaks caused by
+// one particle share a transit width, so runs of equal width reveal the
+// multiplication factor even when amplitudes are gain-scrambled. Randomized
+// flow speed (the S component) changes widths across epochs and defeats it.
+func WidthClusterAttack(peaks []sigproc.Peak, tolerance float64) AttackResult {
+	if len(peaks) == 0 {
+		return AttackResult{}
+	}
+	sorted := sortPeaksByTime(peaks)
+	runLengths := runLengths(sorted, func(a, b sigproc.Peak) bool {
+		return relDiff(a.Width, b.Width) <= tolerance
+	})
+	factor := modeInt(runLengths)
+	if factor < 1 {
+		factor = 1
+	}
+	return AttackResult{
+		EstimatedCount: int(math.Round(float64(len(peaks)) / float64(factor))),
+		InferredFactor: factor,
+	}
+}
+
+// TemporalClusterAttack implements the §VII-A limitation the paper itself
+// reports: because the inter-electrode spacing is small compared to the
+// distance between successive particles, the peaks of one particle form a
+// tight temporal group with long silences in between. Counting groups
+// separated by more than gapS recovers the particle count at low
+// concentrations regardless of gains; it degrades as concentration rises
+// (groups merge) or when the analyst cannot bound the transit time.
+func TemporalClusterAttack(peaks []sigproc.Peak, gapS float64) AttackResult {
+	if len(peaks) == 0 {
+		return AttackResult{}
+	}
+	sorted := sortPeaksByTime(peaks)
+	clusters := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Time-sorted[i-1].Time > gapS {
+			clusters++
+		}
+	}
+	return AttackResult{EstimatedCount: clusters}
+}
+
+// DivisorSweepAttack models a brute-force analyst who knows the sensor has
+// n output electrodes and therefore that the multiplication factor lies in
+// [1, 2n−1], but has no way to pick among candidates. It returns the full
+// candidate set; the spread of the candidates is the attacker's residual
+// uncertainty. The security evaluation uses CandidateSpread to show the true
+// count is not identifiable from the ciphertext alone.
+func DivisorSweepAttack(peakCount, numElectrodes int) []int {
+	if peakCount <= 0 || numElectrodes < 1 {
+		return nil
+	}
+	maxFactor := 2*numElectrodes - 1
+	candidates := make([]int, 0, maxFactor)
+	for f := 1; f <= maxFactor; f++ {
+		candidates = append(candidates, int(math.Round(float64(peakCount)/float64(f))))
+	}
+	return candidates
+}
+
+// CandidateSpread returns the ratio of the largest to the smallest positive
+// candidate count — the attacker's uncertainty band after a divisor sweep.
+func CandidateSpread(candidates []int) float64 {
+	minC, maxC := math.Inf(1), 0.0
+	for _, c := range candidates {
+		if c <= 0 {
+			continue
+		}
+		f := float64(c)
+		if f < minC {
+			minC = f
+		}
+		if f > maxC {
+			maxC = f
+		}
+	}
+	if maxC == 0 || math.IsInf(minC, 1) {
+		return 0
+	}
+	return maxC / minC
+}
+
+func sortPeaksByTime(peaks []sigproc.Peak) []sigproc.Peak {
+	sorted := append([]sigproc.Peak(nil), peaks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	return sorted
+}
+
+// runLengths returns the lengths of maximal runs of consecutive peaks that
+// the predicate judges equal.
+func runLengths(sorted []sigproc.Peak, same func(a, b sigproc.Peak) bool) []int {
+	var lengths []int
+	run := 1
+	for i := 1; i < len(sorted); i++ {
+		if same(sorted[i-1], sorted[i]) {
+			run++
+			continue
+		}
+		lengths = append(lengths, run)
+		run = 1
+	}
+	lengths = append(lengths, run)
+	return lengths
+}
+
+func relDiff(a, b float64) float64 {
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	if denom == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / denom
+}
+
+func modeInt(xs []int) int {
+	counts := make(map[int]int)
+	best, bestN := 0, 0
+	for _, x := range xs {
+		counts[x]++
+		if counts[x] > bestN || (counts[x] == bestN && x > best) {
+			best, bestN = x, counts[x]
+		}
+	}
+	return best
+}

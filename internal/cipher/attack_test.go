@@ -1,0 +1,168 @@
+package cipher
+
+import (
+	"testing"
+
+	"medsen/internal/sigproc"
+)
+
+// makeCipherPeaks fabricates an analyst's view of nParticles particles, each
+// producing factor peaks. Gains and speed control whether amplitudes/widths
+// leak the factor.
+func makeCipherPeaks(nParticles, factor int, gainScramble, widthScramble bool) []sigproc.Peak {
+	var peaks []sigproc.Peak
+	// Deterministic pseudo-scramble values, clearly outside any equality
+	// tolerance.
+	scramble := []float64{0.51, 1.93, 0.77, 1.31, 0.62, 1.74, 1.12, 0.89}
+	for i := 0; i < nParticles; i++ {
+		base := float64(i) * 0.5
+		// Individual particles differ in size: consecutive particles are
+		// well outside a 5% equality tolerance, so amplitude/width runs
+		// end at particle boundaries as they do in a real capture.
+		individual := 1 + 0.15*float64(i%7-3)
+		for j := 0; j < factor; j++ {
+			amp := 0.006 * individual
+			if gainScramble {
+				amp *= scramble[(i*factor+j)%len(scramble)]
+			}
+			width := 0.02 * individual
+			if widthScramble {
+				width *= scramble[(i+j*3)%len(scramble)]
+			}
+			peaks = append(peaks, sigproc.Peak{
+				Time:      base + float64(j)*0.012,
+				Amplitude: amp,
+				Width:     width,
+			})
+		}
+	}
+	return peaks
+}
+
+func TestEqualAmplitudeRunAttackSucceedsWithoutGains(t *testing.T) {
+	const trueCount, factor = 40, 5
+	peaks := makeCipherPeaks(trueCount, factor, false, false)
+	res := EqualAmplitudeRunAttack(peaks, 0.05)
+	if res.InferredFactor != factor {
+		t.Fatalf("inferred factor %d, want %d", res.InferredFactor, factor)
+	}
+	if res.EstimatedCount != trueCount {
+		t.Fatalf("estimated %d, want %d", res.EstimatedCount, trueCount)
+	}
+	if res.RelativeError(trueCount) != 0 {
+		t.Fatalf("relative error %v, want 0", res.RelativeError(trueCount))
+	}
+}
+
+func TestEqualAmplitudeRunAttackDefeatedByGains(t *testing.T) {
+	const trueCount, factor = 40, 5
+	peaks := makeCipherPeaks(trueCount, factor, true, false)
+	res := EqualAmplitudeRunAttack(peaks, 0.05)
+	// With scrambled gains, runs collapse to length 1 and the attacker
+	// over-counts by roughly the multiplication factor.
+	if res.RelativeError(trueCount) < 1.0 {
+		t.Fatalf("gain randomization should defeat the attack; error %v, estimate %d",
+			res.RelativeError(trueCount), res.EstimatedCount)
+	}
+}
+
+func TestWidthClusterAttackSucceedsWithFixedFlow(t *testing.T) {
+	const trueCount, factor = 30, 3
+	peaks := makeCipherPeaks(trueCount, factor, true, false) // gains on, speed fixed
+	res := WidthClusterAttack(peaks, 0.05)
+	if res.InferredFactor != factor {
+		t.Fatalf("inferred factor %d, want %d", res.InferredFactor, factor)
+	}
+	if res.EstimatedCount != trueCount {
+		t.Fatalf("estimated %d, want %d", res.EstimatedCount, trueCount)
+	}
+}
+
+func TestWidthClusterAttackDefeatedBySpeedRandomization(t *testing.T) {
+	const trueCount, factor = 30, 3
+	peaks := makeCipherPeaks(trueCount, factor, true, true)
+	res := WidthClusterAttack(peaks, 0.05)
+	if res.RelativeError(trueCount) < 0.5 {
+		t.Fatalf("speed randomization should defeat the attack; error %v",
+			res.RelativeError(trueCount))
+	}
+}
+
+func TestTemporalClusterAttackAtLowDensity(t *testing.T) {
+	// §VII-A limitation: with sparse particles and tight peak groups the
+	// group count reveals the particle count.
+	const trueCount, factor = 20, 5
+	peaks := makeCipherPeaks(trueCount, factor, true, true)
+	res := TemporalClusterAttack(peaks, 0.1)
+	if res.EstimatedCount != trueCount {
+		t.Fatalf("temporal attack should succeed at low density: got %d, want %d",
+			res.EstimatedCount, trueCount)
+	}
+}
+
+func TestTemporalClusterAttackDegradesWhenGroupsMerge(t *testing.T) {
+	// When particles arrive within the attacker's gap threshold, groups
+	// merge and the estimate collapses.
+	var peaks []sigproc.Peak
+	const trueCount = 50
+	for i := 0; i < trueCount; i++ {
+		peaks = append(peaks, sigproc.Peak{Time: float64(i) * 0.05, Amplitude: 0.005, Width: 0.02})
+	}
+	res := TemporalClusterAttack(peaks, 0.1)
+	if res.EstimatedCount > trueCount/10 {
+		t.Fatalf("merged groups should collapse the estimate: got %d", res.EstimatedCount)
+	}
+}
+
+func TestAttacksOnEmptyInput(t *testing.T) {
+	if r := EqualAmplitudeRunAttack(nil, 0.05); r.EstimatedCount != 0 {
+		t.Fatal("empty amplitude attack should estimate 0")
+	}
+	if r := WidthClusterAttack(nil, 0.05); r.EstimatedCount != 0 {
+		t.Fatal("empty width attack should estimate 0")
+	}
+	if r := TemporalClusterAttack(nil, 0.1); r.EstimatedCount != 0 {
+		t.Fatal("empty temporal attack should estimate 0")
+	}
+}
+
+func TestDivisorSweepAttack(t *testing.T) {
+	candidates := DivisorSweepAttack(1700, 9)
+	if len(candidates) != 17 {
+		t.Fatalf("got %d candidates, want 17 (factors 1..17)", len(candidates))
+	}
+	if candidates[0] != 1700 {
+		t.Fatalf("factor-1 candidate = %d", candidates[0])
+	}
+	if candidates[16] != 100 {
+		t.Fatalf("factor-17 candidate = %d", candidates[16])
+	}
+	spread := CandidateSpread(candidates)
+	if spread < 16.9 || spread > 17.1 {
+		t.Fatalf("candidate spread %v, want ~17×", spread)
+	}
+}
+
+func TestDivisorSweepEdgeCases(t *testing.T) {
+	if got := DivisorSweepAttack(0, 9); got != nil {
+		t.Fatal("zero peaks should yield no candidates")
+	}
+	if got := DivisorSweepAttack(100, 0); got != nil {
+		t.Fatal("zero electrodes should yield no candidates")
+	}
+	if got := CandidateSpread(nil); got != 0 {
+		t.Fatalf("empty spread = %v", got)
+	}
+	if got := CandidateSpread([]int{0, 0}); got != 0 {
+		t.Fatalf("all-zero spread = %v", got)
+	}
+}
+
+func TestRelativeErrorZeroTruth(t *testing.T) {
+	if got := (AttackResult{EstimatedCount: 0}).RelativeError(0); got != 0 {
+		t.Fatalf("0/0 error = %v", got)
+	}
+	if got := (AttackResult{EstimatedCount: 5}).RelativeError(0); got != 1 {
+		t.Fatalf("5/0 error = %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package cipher
+
+import (
+	"testing"
+
+	"medsen/internal/drbg"
+)
+
+// FuzzUnmarshalSchedule hardens the key-schedule decoder against malformed
+// input: it must reject or round-trip, never panic. Run with
+// `go test -fuzz FuzzUnmarshalSchedule ./internal/cipher`.
+func FuzzUnmarshalSchedule(f *testing.F) {
+	valid, err := func() ([]byte, error) {
+		s, err := Generate(DefaultParams(), 3, drbg.NewFromSeed(1))
+		if err != nil {
+			return nil, err
+		}
+		return s.MarshalBinary()
+	}()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MSK1"))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must re-encode to the identical bytes.
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted schedule failed to re-marshal: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}
+
+// FuzzImportShared hardens the key-share opener.
+func FuzzImportShared(f *testing.F) {
+	s, err := Generate(DefaultParams(), 2, drbg.NewFromSeed(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := s.ExportShared("pw")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob, "pw")
+	f.Add(blob, "wrong")
+	f.Add([]byte("MSKS"), "pw")
+	f.Fuzz(func(t *testing.T, data []byte, pass string) {
+		if pass == "" {
+			return
+		}
+		_, _ = ImportShared(data, pass) // must not panic
+	})
+}

@@ -1,0 +1,271 @@
+package cipher
+
+import (
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of key schedules. Schedules never leave the
+// controller over the network; serialization exists so the controller can
+// persist a schedule across the acquisition → analysis → decryption round
+// trip and so tests can verify exact state round-tripping.
+
+const scheduleMagic = "MSK1"
+
+var (
+	_ encoding.BinaryMarshaler   = (*Schedule)(nil)
+	_ encoding.BinaryUnmarshaler = (*Schedule)(nil)
+)
+
+// ErrBadScheduleEncoding reports a malformed serialized schedule.
+var ErrBadScheduleEncoding = errors.New("cipher: malformed schedule encoding")
+
+// MarshalBinary encodes the schedule. Quantized levels are stored exactly.
+func (s *Schedule) MarshalBinary() ([]byte, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("cipher: marshaling invalid schedule: %w", err)
+	}
+	n := s.Params.NumElectrodes
+	maskLen := (n + 7) / 8
+	buf := make([]byte, 0, 4+2*4+8*7+1+4+len(s.Epochs)*(maskLen+n+1))
+	buf = append(buf, scheduleMagic...)
+	buf = appendParams(buf, s.Params)
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], math.Float64bits(s.DurationS))
+	buf = append(buf, b8[:]...)
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(len(s.Epochs)))
+	buf = append(buf, b4[:]...)
+
+	for _, e := range s.Epochs {
+		if len(e.Active) != n || len(e.GainLevel) != n {
+			return nil, fmt.Errorf("cipher: epoch key sized %d/%d, want %d",
+				len(e.Active), len(e.GainLevel), n)
+		}
+		mask := make([]byte, maskLen)
+		for i, on := range e.Active {
+			if on {
+				mask[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, mask...)
+		buf = append(buf, e.GainLevel...)
+		buf = append(buf, e.SpeedLevel)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a schedule produced by MarshalBinary.
+func (s *Schedule) UnmarshalBinary(data []byte) error {
+	r := &reader{data: data}
+	if string(r.bytes(4)) != scheduleMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadScheduleEncoding)
+	}
+	p, err := readParams(r)
+	if err != nil {
+		return err
+	}
+	duration := r.f64()
+	nEpochs := int(r.u32())
+	if r.err != nil {
+		return fmt.Errorf("%w: truncated header", ErrBadScheduleEncoding)
+	}
+	const maxEpochs = 1 << 24
+	if nEpochs < 0 || nEpochs > maxEpochs {
+		return fmt.Errorf("%w: epoch count %d out of range", ErrBadScheduleEncoding, nEpochs)
+	}
+
+	n := p.NumElectrodes
+	maskLen := (n + 7) / 8
+	epochs := make([]EpochKey, nEpochs)
+	for i := range epochs {
+		mask := r.bytes(maskLen)
+		gains := r.bytes(n)
+		speed := r.byte()
+		if r.err != nil {
+			return fmt.Errorf("%w: truncated epoch %d", ErrBadScheduleEncoding, i)
+		}
+		e := EpochKey{
+			Active:     make([]bool, n),
+			GainLevel:  append([]uint8(nil), gains...),
+			SpeedLevel: speed,
+		}
+		for j := 0; j < n; j++ {
+			e.Active[j] = mask[j/8]&(1<<(j%8)) != 0
+		}
+		epochs[i] = e
+	}
+	if len(r.data) != r.off {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadScheduleEncoding, len(r.data)-r.off)
+	}
+	s.Params = p
+	s.DurationS = duration
+	s.Epochs = epochs
+	return nil
+}
+
+// reader is a cursor over a byte slice that records the first failure
+// instead of panicking, so decode paths handle truncation uniformly.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.data) {
+		if r.err == nil {
+			r.err = ErrBadScheduleEncoding
+		}
+		return make([]byte, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) byte() byte   { return r.bytes(1)[0] }
+func (r *reader) u16() uint16  { return binary.BigEndian.Uint16(r.bytes(2)) }
+func (r *reader) u32() uint32  { return binary.BigEndian.Uint32(r.bytes(4)) }
+func (r *reader) f64() float64 { return math.Float64frombits(binary.BigEndian.Uint64(r.bytes(8))) }
+
+const perCellMagic = "MSKC"
+
+var (
+	_ encoding.BinaryMarshaler   = (*PerCellSchedule)(nil)
+	_ encoding.BinaryUnmarshaler = (*PerCellSchedule)(nil)
+)
+
+// MarshalBinary encodes a per-cell schedule (same layout as an epoch
+// schedule, under its own magic, without the duration field).
+func (s *PerCellSchedule) MarshalBinary() ([]byte, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("cipher: marshaling invalid per-cell schedule: %w", err)
+	}
+	n := s.Params.NumElectrodes
+	maskLen := (n + 7) / 8
+	buf := make([]byte, 0, 4+2*3+8*6+2+1+4+len(s.Keys)*(maskLen+n+1))
+	buf = append(buf, perCellMagic...)
+	buf = appendParams(buf, s.Params)
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(len(s.Keys)))
+	buf = append(buf, b4[:]...)
+	for _, e := range s.Keys {
+		if len(e.Active) != n || len(e.GainLevel) != n {
+			return nil, fmt.Errorf("cipher: per-cell key sized %d/%d, want %d",
+				len(e.Active), len(e.GainLevel), n)
+		}
+		mask := make([]byte, maskLen)
+		for i, on := range e.Active {
+			if on {
+				mask[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, mask...)
+		buf = append(buf, e.GainLevel...)
+		buf = append(buf, e.SpeedLevel)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a per-cell schedule.
+func (s *PerCellSchedule) UnmarshalBinary(data []byte) error {
+	r := &reader{data: data}
+	if string(r.bytes(4)) != perCellMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadScheduleEncoding)
+	}
+	p, err := readParams(r)
+	if err != nil {
+		return err
+	}
+	nKeys := int(r.u32())
+	if r.err != nil {
+		return fmt.Errorf("%w: truncated header", ErrBadScheduleEncoding)
+	}
+	const maxKeys = 1 << 24
+	if nKeys < 0 || nKeys > maxKeys {
+		return fmt.Errorf("%w: key count %d out of range", ErrBadScheduleEncoding, nKeys)
+	}
+	n := p.NumElectrodes
+	maskLen := (n + 7) / 8
+	keys := make([]EpochKey, nKeys)
+	for i := range keys {
+		mask := r.bytes(maskLen)
+		gains := r.bytes(n)
+		speed := r.byte()
+		if r.err != nil {
+			return fmt.Errorf("%w: truncated key %d", ErrBadScheduleEncoding, i)
+		}
+		e := EpochKey{
+			Active:     make([]bool, n),
+			GainLevel:  append([]uint8(nil), gains...),
+			SpeedLevel: speed,
+		}
+		for j := 0; j < n; j++ {
+			e.Active[j] = mask[j/8]&(1<<(j%8)) != 0
+		}
+		keys[i] = e
+	}
+	if len(r.data) != r.off {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadScheduleEncoding, len(r.data)-r.off)
+	}
+	s.Params = p
+	s.Keys = keys
+	return nil
+}
+
+// appendParams serializes the shared Params header fields.
+func appendParams(buf []byte, p Params) []byte {
+	u16 := func(v int) {
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], uint16(v))
+		buf = append(buf, b[:]...)
+	}
+	f64 := func(v float64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+		buf = append(buf, b[:]...)
+	}
+	u16(p.NumElectrodes)
+	u16(p.GainLevels)
+	u16(p.SpeedLevels)
+	f64(p.GainMin)
+	f64(p.GainMax)
+	f64(p.SpeedMin)
+	f64(p.SpeedMax)
+	f64(p.NominalVelocityUmS)
+	f64(p.EpochS)
+	u16(p.MinActive)
+	if p.AvoidAdjacent {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// readParams decodes the shared Params header fields.
+func readParams(r *reader) (Params, error) {
+	var p Params
+	p.NumElectrodes = int(r.u16())
+	p.GainLevels = int(r.u16())
+	p.SpeedLevels = int(r.u16())
+	p.GainMin = r.f64()
+	p.GainMax = r.f64()
+	p.SpeedMin = r.f64()
+	p.SpeedMax = r.f64()
+	p.NominalVelocityUmS = r.f64()
+	p.EpochS = r.f64()
+	p.MinActive = int(r.u16())
+	p.AvoidAdjacent = r.byte() == 1
+	if r.err != nil {
+		return Params{}, fmt.Errorf("%w: truncated params", ErrBadScheduleEncoding)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrBadScheduleEncoding, err)
+	}
+	return p, nil
+}

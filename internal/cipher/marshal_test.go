@@ -1,0 +1,199 @@
+package cipher
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"medsen/internal/drbg"
+)
+
+func TestScheduleMarshalRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.AvoidAdjacent = true
+	p.MinActive = 2
+	orig, err := Generate(p, 17.3, drbg.NewFromSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var got Schedule
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got.Params != orig.Params {
+		t.Fatalf("params differ: %+v vs %+v", got.Params, orig.Params)
+	}
+	if got.DurationS != orig.DurationS {
+		t.Fatalf("duration differs: %v vs %v", got.DurationS, orig.DurationS)
+	}
+	if len(got.Epochs) != len(orig.Epochs) {
+		t.Fatalf("epoch count differs: %d vs %d", len(got.Epochs), len(orig.Epochs))
+	}
+	for i := range got.Epochs {
+		a, b := got.Epochs[i], orig.Epochs[i]
+		if a.SpeedLevel != b.SpeedLevel || !bytes.Equal(a.GainLevel, b.GainLevel) {
+			t.Fatalf("epoch %d differs", i)
+		}
+		for j := range a.Active {
+			if a.Active[j] != b.Active[j] {
+				t.Fatalf("epoch %d mask differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(seed uint32, durTenths uint8) bool {
+		dur := float64(durTenths%100)/10 + 0.1
+		s, err := Generate(DefaultParams(), dur, drbg.NewFromSeed(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Schedule
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		redata, err := got.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(data, redata)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsBadMagic(t *testing.T) {
+	var s Schedule
+	err := s.UnmarshalBinary([]byte("XXXXrest-of-data-long-enough-to-read"))
+	if !errors.Is(err, ErrBadScheduleEncoding) {
+		t.Fatalf("expected ErrBadScheduleEncoding, got %v", err)
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	s, err := Generate(DefaultParams(), 5, drbg.NewFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 4, 10, len(data) / 2, len(data) - 1} {
+		var got Schedule
+		if err := got.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingGarbage(t *testing.T) {
+	s, err := Generate(DefaultParams(), 2, drbg.NewFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Schedule
+	if err := got.UnmarshalBinary(append(data, 0xFF)); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+func TestMarshalRejectsInvalidParams(t *testing.T) {
+	s := &Schedule{Params: Params{}}
+	if _, err := s.MarshalBinary(); err == nil {
+		t.Fatal("expected error marshaling invalid params")
+	}
+}
+
+func TestMarshalRejectsMalformedEpoch(t *testing.T) {
+	s, err := Generate(DefaultParams(), 2, drbg.NewFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Epochs[1].Active = s.Epochs[1].Active[:3]
+	if _, err := s.MarshalBinary(); err == nil {
+		t.Fatal("expected error for malformed epoch")
+	}
+}
+
+func TestPerCellMarshalRoundTrip(t *testing.T) {
+	orig, err := GeneratePerCell(DefaultParams(), 37, drbg.NewFromSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var got PerCellSchedule
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got.Params != orig.Params || len(got.Keys) != len(orig.Keys) {
+		t.Fatalf("round trip mismatch")
+	}
+	for i := range got.Keys {
+		if !bytes.Equal(got.Keys[i].GainLevel, orig.Keys[i].GainLevel) ||
+			got.Keys[i].SpeedLevel != orig.Keys[i].SpeedLevel {
+			t.Fatalf("key %d differs", i)
+		}
+		for j := range got.Keys[i].Active {
+			if got.Keys[i].Active[j] != orig.Keys[i].Active[j] {
+				t.Fatalf("key %d mask differs", i)
+			}
+		}
+	}
+	if got.KeyBits() != orig.KeyBits() {
+		t.Fatalf("key bits differ: %d vs %d", got.KeyBits(), orig.KeyBits())
+	}
+}
+
+func TestPerCellUnmarshalRejectsCorruption(t *testing.T) {
+	s, err := GeneratePerCell(DefaultParams(), 5, drbg.NewFromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PerCellSchedule
+	if err := got.UnmarshalBinary(data[:10]); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if err := got.UnmarshalBinary(append(data, 0x00)); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+	// An epoch-schedule blob must not parse as a per-cell schedule.
+	epoch, err := Generate(DefaultParams(), 2, drbg.NewFromSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := epoch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.UnmarshalBinary(eb); err == nil {
+		t.Fatal("cross-format decode not detected")
+	}
+}

@@ -1,0 +1,170 @@
+package cipher
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"medsen/internal/drbg"
+	"medsen/internal/electrode"
+	"medsen/internal/sigproc"
+)
+
+// The ideal per-cell scheme of §IV-A: "every signal peak is encrypted with
+// its own randomly generated key … comparable to the perfectly secret
+// one-time pad encryption scheme". Each successive particle consumes one
+// fresh key K = (E, G, S) and the key length grows linearly with the cell
+// count (Eq. 2). The paper rejects this scheme for deployment because the
+// sensor "would require MedSen to be aware of every cell entering and
+// leaving the channel" and coincident cells break the bookkeeping — both of
+// which this implementation reproduces — but it is the security baseline
+// the practical epoch scheme is judged against, so it is implemented here
+// for the comparison experiments.
+
+// PerCellSchedule holds one key per expected particle, consumed in arrival
+// order.
+type PerCellSchedule struct {
+	Params Params
+	// Keys[i] configures the sensor for the i-th particle. Particles
+	// beyond the prepared count pass unobserved (no key, no electrodes).
+	Keys []EpochKey
+}
+
+// GeneratePerCell draws keys for up to maxCells particles.
+func GeneratePerCell(p Params, maxCells int, rng *drbg.DRBG) (*PerCellSchedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxCells < 1 {
+		return nil, fmt.Errorf("cipher: per-cell schedule needs at least 1 key, got %d", maxCells)
+	}
+	if rng == nil {
+		return nil, errors.New("cipher: nil rng")
+	}
+	s := &PerCellSchedule{Params: p, Keys: make([]EpochKey, maxCells)}
+	for i := range s.Keys {
+		s.Keys[i] = generateEpoch(p, rng)
+	}
+	return s, nil
+}
+
+// KeyBits returns the exact Eq. 2 key length of this schedule:
+// cells × (electrodes + electrodes/2 × gainBits + speedBits).
+func (s *PerCellSchedule) KeyBits() int {
+	return IdealKeyLengthBits(len(s.Keys), s.Params.NumElectrodes, s.Params.GainBits(), s.Params.SpeedBits())
+}
+
+// KeyAtCell returns the key for the i-th particle and whether one exists.
+func (s *PerCellSchedule) KeyAtCell(i int) (EpochKey, bool) {
+	if i < 0 || i >= len(s.Keys) {
+		return EpochKey{}, false
+	}
+	return s.Keys[i], true
+}
+
+// DecryptPerCell recovers the particle count from the analyst's peak report
+// under per-cell keying. The controller walks the key sequence: key i
+// predicts factor_i peaks for the i-th particle; peaks are consumed in time
+// order. The count is the number of keys fully consumed (plus a fractional
+// tail). This bookkeeping is exactly what §IV-A warns is fragile: it
+// assumes particles arrive strictly in sequence with no coincidence — the
+// simulation reproduces both the scheme and its failure mode.
+func (s *PerCellSchedule) DecryptPerCell(peaks []sigproc.Peak, arr electrode.Array) (Decrypted, error) {
+	if arr.NumOutputs > s.Params.NumElectrodes {
+		return Decrypted{}, fmt.Errorf("cipher: array has %d outputs but schedule keys %d electrodes",
+			arr.NumOutputs, s.Params.NumElectrodes)
+	}
+	sorted := append([]sigproc.Peak(nil), peaks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	var out Decrypted
+	idx := 0
+	for cell := 0; cell < len(s.Keys) && idx < len(sorted); cell++ {
+		key := s.Keys[cell]
+		crossings := arr.Crossings(key.Active)
+		factor := len(crossings)
+		if factor == 0 {
+			continue
+		}
+		end := idx + factor
+		if end > len(sorted) {
+			// Partial tail: count the fraction.
+			out.Count += int(math.Round(float64(len(sorted)-idx) / float64(factor)))
+			idx = len(sorted)
+			break
+		}
+		speed := s.Params.SpeedAt(key.SpeedLevel)
+		est := ParticleEstimate{TimeS: sorted[idx].Time}
+		sumAmp, sumWidth := 0.0, 0.0
+		for k, c := range crossings {
+			gain := s.Params.GainAt(key.GainLevel[c.Electrode])
+			sumAmp += sorted[idx+k].Amplitude / gain
+			sumWidth += sorted[idx+k].Width * speed
+		}
+		est.Amplitude = sumAmp / float64(factor)
+		est.WidthS = sumWidth / float64(factor)
+		out.Particles = append(out.Particles, est)
+		out.Count++
+		idx = end
+	}
+	return out, nil
+}
+
+// PerCellPosterior computes the analyst's posterior over the true count
+// given a total ciphertext peak count under per-cell keying: the observed
+// total is a sum of N independent factor draws, so P(peaks | N) is the
+// N-fold convolution of the factor distribution. Computed exactly by
+// dynamic programming over the Monte-Carlo factor distribution.
+func PerCellPosterior(
+	p Params,
+	arr electrode.Array,
+	observedPeaks int,
+	maxCount int,
+	rng *drbg.DRBG,
+) (CountPosterior, error) {
+	if err := p.Validate(); err != nil {
+		return CountPosterior{}, err
+	}
+	if observedPeaks < 1 || maxCount < 1 {
+		return CountPosterior{}, fmt.Errorf("cipher: bad posterior inputs peaks=%d max=%d",
+			observedPeaks, maxCount)
+	}
+	if rng == nil {
+		return CountPosterior{}, errors.New("cipher: nil rng")
+	}
+	const mcSamples = 20000
+	factorDist := factorDistribution(p, arr, mcSamples, rng)
+
+	// dp[s] = P(sum of factors so far = s); iterate N times.
+	post := CountPosterior{ObservedPeaks: observedPeaks, Probs: make(map[int]float64)}
+	dp := make([]float64, observedPeaks+1)
+	dp[0] = 1
+	total := 0.0
+	for n := 1; n <= maxCount; n++ {
+		next := make([]float64, observedPeaks+1)
+		for s, ps := range dp {
+			if ps == 0 {
+				continue
+			}
+			for f, pf := range factorDist {
+				if f <= 0 || s+f > observedPeaks {
+					continue
+				}
+				next[s+f] += ps * pf
+			}
+		}
+		dp = next
+		if pr := dp[observedPeaks]; pr > 0 {
+			post.Probs[n] = pr
+			total += pr
+		}
+	}
+	if total == 0 {
+		return post, nil
+	}
+	for n := range post.Probs {
+		post.Probs[n] /= total
+	}
+	return post, nil
+}

@@ -1,0 +1,209 @@
+package cipher
+
+import (
+	"testing"
+
+	"medsen/internal/drbg"
+	"medsen/internal/electrode"
+	"medsen/internal/sigproc"
+)
+
+func TestGeneratePerCellValidation(t *testing.T) {
+	p := nineParams()
+	if _, err := GeneratePerCell(p, 0, drbg.NewFromSeed(1)); err == nil {
+		t.Error("expected error for zero cells")
+	}
+	if _, err := GeneratePerCell(p, 10, nil); err == nil {
+		t.Error("expected nil-rng error")
+	}
+	if _, err := GeneratePerCell(Params{}, 10, drbg.NewFromSeed(1)); err == nil {
+		t.Error("expected params error")
+	}
+}
+
+func TestPerCellKeyBitsMatchesEq2(t *testing.T) {
+	p := DefaultParams() // 16 electrodes, 4-bit gains, 4-bit speeds
+	s, err := GeneratePerCell(p, 20000, drbg.NewFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §VI-B: 20K cells → 20K × (16 + 8×4 + 4) = 1 040 000 bits.
+	if got := s.KeyBits(); got != 1040000 {
+		t.Fatalf("KeyBits = %d, want 1 040 000", got)
+	}
+}
+
+func TestKeyAtCellBounds(t *testing.T) {
+	s, err := GeneratePerCell(nineParams(), 3, drbg.NewFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.KeyAtCell(-1); ok {
+		t.Error("negative index should have no key")
+	}
+	if _, ok := s.KeyAtCell(3); ok {
+		t.Error("index past the end should have no key")
+	}
+	if _, ok := s.KeyAtCell(2); !ok {
+		t.Error("last key missing")
+	}
+}
+
+// buildPerCellPeaks synthesizes the analyst's view of sequential particles
+// under a per-cell schedule.
+func buildPerCellPeaks(t *testing.T, s *PerCellSchedule, arr electrode.Array, n int) []sigproc.Peak {
+	t.Helper()
+	var peaks []sigproc.Peak
+	for i := 0; i < n; i++ {
+		key, ok := s.KeyAtCell(i)
+		if !ok {
+			t.Fatalf("no key for cell %d", i)
+		}
+		speed := s.Params.SpeedAt(key.SpeedLevel)
+		v := s.Params.NominalVelocityUmS * speed
+		entry := float64(i) * 2.0
+		for _, c := range arr.Crossings(key.Active) {
+			peaks = append(peaks, sigproc.Peak{
+				Time:      entry + c.OffsetUm/v,
+				Amplitude: 0.005 * s.Params.GainAt(key.GainLevel[c.Electrode]),
+				Width:     0.02 / speed,
+			})
+		}
+	}
+	return peaks
+}
+
+func TestDecryptPerCellRoundTrip(t *testing.T) {
+	arr := electrode.MustArray(9)
+	p := nineParams()
+	s, err := GeneratePerCell(p, 12, drbg.NewFromSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := buildPerCellPeaks(t, s, arr, 12)
+	dec, err := s.DecryptPerCell(peaks, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Count != 12 {
+		t.Fatalf("count = %d, want 12", dec.Count)
+	}
+	if len(dec.Particles) != 12 {
+		t.Fatalf("resolved %d particles", len(dec.Particles))
+	}
+	for i, est := range dec.Particles {
+		if est.Amplitude < 0.0049 || est.Amplitude > 0.0051 {
+			t.Fatalf("particle %d amplitude %v, want ~0.005", i, est.Amplitude)
+		}
+		if est.WidthS < 0.0199 || est.WidthS > 0.0201 {
+			t.Fatalf("particle %d width %v, want ~0.02", i, est.WidthS)
+		}
+	}
+}
+
+func TestDecryptPerCellFewerParticlesThanKeys(t *testing.T) {
+	arr := electrode.MustArray(9)
+	s, err := GeneratePerCell(nineParams(), 30, drbg.NewFromSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := buildPerCellPeaks(t, s, arr, 7)
+	dec, err := s.DecryptPerCell(peaks, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Count != 7 {
+		t.Fatalf("count = %d, want 7", dec.Count)
+	}
+}
+
+func TestDecryptPerCellArrayMismatch(t *testing.T) {
+	p := nineParams()
+	p.NumElectrodes = 3
+	p.MinActive = 1
+	s, err := GeneratePerCell(p, 5, drbg.NewFromSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DecryptPerCell(nil, electrode.MustArray(9)); err == nil {
+		t.Fatal("expected array mismatch error")
+	}
+}
+
+func TestPerCellDefeatsAmplitudeRunsEvenWithoutGains(t *testing.T) {
+	// Under per-cell keying the multiplication factor itself changes
+	// every particle, so the amplitude-run attack has no stable factor
+	// to infer — even with the G component pinned to unity.
+	arr := electrode.MustArray(9)
+	p := nineParams()
+	p.GainMin, p.GainMax = 1.0, 1.0001
+	s, err := GeneratePerCell(p, 60, drbg.NewFromSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := buildPerCellPeaks(t, s, arr, 60)
+	res := EqualAmplitudeRunAttack(peaks, 0.05)
+	if res.RelativeError(60) < 0.3 {
+		t.Fatalf("amplitude-run attack too accurate against per-cell keys: err %.3f, est %d",
+			res.RelativeError(60), res.EstimatedCount)
+	}
+}
+
+func TestPerCellPosteriorShape(t *testing.T) {
+	// A finding of this reproduction worth stating precisely: the §IV-A
+	// "one-time-pad" per-cell scheme protects *per-particle* structure
+	// (see TestPerCellDefeatsAmplitudeRunsEvenWithoutGains), but for the
+	// *aggregate* count the observed total is a sum of N i.i.d. factors,
+	// so the central limit theorem concentrates the analyst's posterior
+	// around peaks/E[factor]. Both schemes leave residual uncertainty,
+	// and neither pins the count exactly — but per-cell keying is not
+	// broader on aggregates, and its posterior is centered near the
+	// truth.
+	arr := electrode.MustArray(9)
+	p := nineParams()
+	const peaks, maxCount = 120, 200
+	epochPost, err := PosteriorOverCounts(p, arr, peaks, maxCount, drbg.NewFromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellPost, err := PerCellPosterior(p, arr, peaks, maxCount, drbg.NewFromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, hc := epochPost.EntropyBits(), cellPost.EntropyBits()
+	if he < 1.5 {
+		t.Fatalf("epoch posterior entropy %.2f bits, want residual uncertainty", he)
+	}
+	if hc < 1.5 {
+		t.Fatalf("per-cell posterior entropy %.2f bits, want residual uncertainty", hc)
+	}
+	// CLT concentration: the per-cell 90% credible interval is narrower
+	// than the epoch one (divisor candidates spread much wider).
+	eLo, eHi := epochPost.CredibleInterval(0.9)
+	cLo, cHi := cellPost.CredibleInterval(0.9)
+	if (cHi - cLo) > (eHi - eLo) {
+		t.Fatalf("expected per-cell interval [%d,%d] narrower than epoch [%d,%d]",
+			cLo, cHi, eLo, eHi)
+	}
+	// The per-cell MAP sits near peaks / E[factor].
+	mapCount, _ := cellPost.MAP()
+	if mapCount < 8 || mapCount > 25 {
+		t.Fatalf("per-cell MAP %d implausible for 120 peaks on a 9-output array", mapCount)
+	}
+}
+
+func TestPerCellPosteriorValidation(t *testing.T) {
+	arr := electrode.MustArray(9)
+	if _, err := PerCellPosterior(nineParams(), arr, 0, 10, drbg.NewFromSeed(1)); err == nil {
+		t.Error("expected error for zero peaks")
+	}
+	if _, err := PerCellPosterior(nineParams(), arr, 10, 0, drbg.NewFromSeed(1)); err == nil {
+		t.Error("expected error for zero max")
+	}
+	if _, err := PerCellPosterior(nineParams(), arr, 10, 10, nil); err == nil {
+		t.Error("expected nil-rng error")
+	}
+	if _, err := PerCellPosterior(Params{}, arr, 10, 10, drbg.NewFromSeed(1)); err == nil {
+		t.Error("expected params error")
+	}
+}

@@ -1,0 +1,165 @@
+package cipher
+
+import (
+	"fmt"
+	"math"
+
+	"medsen/internal/drbg"
+	"medsen/internal/electrode"
+)
+
+// Information-theoretic security analysis of the peak-count channel. §IV-A
+// argues the scheme is "comparable to the perfectly secret one-time pad";
+// this file quantifies the claim for the practical epoch scheme: given the
+// ciphertext peak count the analyst observes, how much uncertainty remains
+// about the true particle count?
+
+// CountPosterior is the analyst's Bayesian posterior over the true count
+// after observing a ciphertext peak count, assuming the analyst knows the
+// cipher parameters (Kerckhoffs) but not the key.
+type CountPosterior struct {
+	// Probs maps candidate true counts to posterior probability.
+	Probs map[int]float64
+	// ObservedPeaks is the conditioning observation.
+	ObservedPeaks int
+}
+
+// EntropyBits returns the Shannon entropy of the posterior — the analyst's
+// remaining uncertainty in bits.
+func (p CountPosterior) EntropyBits() float64 {
+	h := 0.0
+	for _, pr := range p.Probs {
+		if pr > 0 {
+			h -= pr * math.Log2(pr)
+		}
+	}
+	return h
+}
+
+// MAP returns the maximum-a-posteriori count and its probability.
+func (p CountPosterior) MAP() (int, float64) {
+	best, bestP := 0, -1.0
+	for c, pr := range p.Probs {
+		if pr > bestP || (pr == bestP && c < best) {
+			best, bestP = c, pr
+		}
+	}
+	return best, bestP
+}
+
+// CredibleInterval returns the smallest [lo, hi] count range holding at
+// least the given posterior mass.
+func (p CountPosterior) CredibleInterval(mass float64) (lo, hi int) {
+	if len(p.Probs) == 0 {
+		return 0, 0
+	}
+	minC, maxC := math.MaxInt, math.MinInt
+	for c := range p.Probs {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	best := math.MaxInt
+	for a := minC; a <= maxC; a++ {
+		sum := 0.0
+		for b := a; b <= maxC; b++ {
+			sum += p.Probs[b]
+			if sum >= mass {
+				if b-a < best {
+					best = b - a
+					lo, hi = a, b
+				}
+				break
+			}
+		}
+	}
+	return lo, hi
+}
+
+// factorDistribution computes the distribution of the peak multiplication
+// factor under the key-generation process by Monte-Carlo over epoch keys.
+func factorDistribution(p Params, arr electrode.Array, samples int, rng *drbg.DRBG) map[int]float64 {
+	counts := make(map[int]int)
+	for i := 0; i < samples; i++ {
+		k := generateEpoch(p, rng)
+		counts[arr.PeaksPerParticle(k.Active)]++
+	}
+	dist := make(map[int]float64, len(counts))
+	for f, n := range counts {
+		dist[f] = float64(n) / float64(samples)
+	}
+	return dist
+}
+
+// FactorEntropyBits returns the Shannon entropy (bits) of the peak
+// multiplication factor under the key-generation process — the per-particle
+// confusion a design injects into the ciphertext.
+func FactorEntropyBits(p Params, arr electrode.Array, rng *drbg.DRBG) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("cipher: nil rng")
+	}
+	const mcSamples = 20000
+	dist := factorDistribution(p, arr, mcSamples, rng)
+	h := 0.0
+	for _, pr := range dist {
+		if pr > 0 {
+			h -= pr * math.Log2(pr)
+		}
+	}
+	return h, nil
+}
+
+// PosteriorOverCounts computes the analyst's posterior over the true
+// particle count given an observed ciphertext peak count, for a
+// single-epoch observation window.
+//
+// Model: the true count N is uniform over [1, maxCount] (the analyst's
+// prior); all N particles cross under one epoch key with multiplication
+// factor F drawn from the key distribution; the observation is peaks =
+// N × F. The posterior is P(N | peaks) ∝ Σ_F P(F)·[N·F = peaks].
+func PosteriorOverCounts(
+	p Params,
+	arr electrode.Array,
+	observedPeaks int,
+	maxCount int,
+	rng *drbg.DRBG,
+) (CountPosterior, error) {
+	if err := p.Validate(); err != nil {
+		return CountPosterior{}, err
+	}
+	if observedPeaks < 1 || maxCount < 1 {
+		return CountPosterior{}, fmt.Errorf("cipher: bad posterior inputs peaks=%d max=%d",
+			observedPeaks, maxCount)
+	}
+	if rng == nil {
+		return CountPosterior{}, fmt.Errorf("cipher: nil rng")
+	}
+	const mcSamples = 20000
+	factorDist := factorDistribution(p, arr, mcSamples, rng)
+
+	post := CountPosterior{ObservedPeaks: observedPeaks, Probs: make(map[int]float64)}
+	total := 0.0
+	for n := 1; n <= maxCount; n++ {
+		if observedPeaks%n != 0 {
+			continue
+		}
+		f := observedPeaks / n
+		if pr, ok := factorDist[f]; ok && pr > 0 {
+			post.Probs[n] = pr
+			total += pr
+		}
+	}
+	if total == 0 {
+		return post, nil
+	}
+	for n := range post.Probs {
+		post.Probs[n] /= total
+	}
+	return post, nil
+}

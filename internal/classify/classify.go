@@ -1,0 +1,238 @@
+// Package classify separates particle populations — blood cells versus the
+// synthetic password beads — from multi-frequency peak amplitudes, the
+// feature space of Figs. 15 and 16: "All those impedance measurements for
+// different bead types at different frequencies are considered as features.
+// MedSen uses the features for its classification procedures to distinguish
+// between different particles."
+//
+// The classifier is a nearest-centroid model over log-amplitudes. Working in
+// log space makes the decision boundary insensitive to an overall amplitude
+// scale (a particle twice as responsive moves parallel to the cluster axis)
+// while preserving the frequency-response *shape* that distinguishes blood
+// cells (which roll off above ~2 MHz) from solid beads (which do not).
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"medsen/internal/microfluidic"
+)
+
+// Features is a vector of peak amplitudes, index-aligned with the model's
+// carrier list.
+type Features []float64
+
+// Observation is one labeled training point.
+type Observation struct {
+	Type     microfluidic.Type
+	Features Features
+}
+
+// Model is a nearest-centroid classifier in log-amplitude space.
+type Model struct {
+	// CarriersHz lists the feature dimensions (excitation frequencies).
+	CarriersHz []float64
+	// Centroids holds per-class mean log-amplitude vectors.
+	Centroids map[microfluidic.Type][]float64
+	// Spread holds per-class per-dimension standard deviations of the
+	// log-amplitudes, used for confidence scoring (0 entries fall back to
+	// a global floor).
+	Spread map[microfluidic.Type][]float64
+}
+
+// minLogAmplitude guards against log(0) for empty or clipped features.
+const minLogAmplitude = -20
+
+func logVec(f Features) []float64 {
+	out := make([]float64, len(f))
+	for i, v := range f {
+		if v <= 0 {
+			out[i] = minLogAmplitude
+			continue
+		}
+		lv := math.Log(v)
+		if lv < minLogAmplitude {
+			lv = minLogAmplitude
+		}
+		out[i] = lv
+	}
+	return out
+}
+
+// Train fits a nearest-centroid model from labeled observations.
+func Train(carriersHz []float64, obs []Observation) (*Model, error) {
+	if len(carriersHz) == 0 {
+		return nil, errors.New("classify: no carriers")
+	}
+	if len(obs) == 0 {
+		return nil, errors.New("classify: no observations")
+	}
+	sums := make(map[microfluidic.Type][]float64)
+	counts := make(map[microfluidic.Type]int)
+	for i, o := range obs {
+		if len(o.Features) != len(carriersHz) {
+			return nil, fmt.Errorf("classify: observation %d has %d features, want %d",
+				i, len(o.Features), len(carriersHz))
+		}
+		lv := logVec(o.Features)
+		if _, ok := sums[o.Type]; !ok {
+			sums[o.Type] = make([]float64, len(carriersHz))
+		}
+		for d, v := range lv {
+			sums[o.Type][d] += v
+		}
+		counts[o.Type]++
+	}
+	m := &Model{
+		CarriersHz: append([]float64(nil), carriersHz...),
+		Centroids:  make(map[microfluidic.Type][]float64, len(sums)),
+		Spread:     make(map[microfluidic.Type][]float64, len(sums)),
+	}
+	for typ, sum := range sums {
+		c := make([]float64, len(carriersHz))
+		for d := range c {
+			c[d] = sum[d] / float64(counts[typ])
+		}
+		m.Centroids[typ] = c
+	}
+	// Second pass for spreads.
+	sq := make(map[microfluidic.Type][]float64)
+	for _, o := range obs {
+		lv := logVec(o.Features)
+		if _, ok := sq[o.Type]; !ok {
+			sq[o.Type] = make([]float64, len(carriersHz))
+		}
+		for d, v := range lv {
+			diff := v - m.Centroids[o.Type][d]
+			sq[o.Type][d] += diff * diff
+		}
+	}
+	for typ, s := range sq {
+		sd := make([]float64, len(carriersHz))
+		for d := range sd {
+			sd[d] = math.Sqrt(s[d] / float64(counts[typ]))
+		}
+		m.Spread[typ] = sd
+	}
+	return m, nil
+}
+
+// ReferenceModel builds a physics-calibrated model directly from the
+// particle dielectric spectra — the deployment path when no labeled capture
+// is available (the centroids are where Fig. 15 says the populations sit).
+func ReferenceModel(carriersHz []float64) (*Model, error) {
+	if len(carriersHz) == 0 {
+		return nil, errors.New("classify: no carriers")
+	}
+	m := &Model{
+		CarriersHz: append([]float64(nil), carriersHz...),
+		Centroids:  make(map[microfluidic.Type][]float64),
+		Spread:     make(map[microfluidic.Type][]float64),
+	}
+	for _, typ := range microfluidic.AllTypes() {
+		props := microfluidic.PropertiesOf(typ)
+		c := make([]float64, len(carriersHz))
+		sd := make([]float64, len(carriersHz))
+		for d, f := range carriersHz {
+			c[d] = math.Log(props.AmplitudeAt(f))
+			// Biological and instrumental variability: ~15%
+			// amplitude CV, wider for cells than rigid beads.
+			sd[d] = 0.15
+			if typ == microfluidic.TypeBloodCell {
+				sd[d] = 0.25
+			}
+		}
+		m.Centroids[typ] = c
+		m.Spread[typ] = sd
+	}
+	return m, nil
+}
+
+// Result is one classification outcome.
+type Result struct {
+	// Type is the winning class.
+	Type microfluidic.Type
+	// Distance is the normalized distance to the winning centroid
+	// (in pooled standard deviations per dimension).
+	Distance float64
+	// Margin is the runner-up distance minus the winner distance; small
+	// margins mark ambiguous calls.
+	Margin float64
+}
+
+// Classify assigns features to the nearest centroid.
+func (m *Model) Classify(f Features) (Result, error) {
+	if len(f) != len(m.CarriersHz) {
+		return Result{}, fmt.Errorf("classify: got %d features, want %d", len(f), len(m.CarriersHz))
+	}
+	if len(m.Centroids) == 0 {
+		return Result{}, errors.New("classify: empty model")
+	}
+	lv := logVec(f)
+
+	type scored struct {
+		typ  microfluidic.Type
+		dist float64
+	}
+	scores := make([]scored, 0, len(m.Centroids))
+	for typ, c := range m.Centroids {
+		sum := 0.0
+		for d := range c {
+			sd := 0.2
+			if sp := m.Spread[typ]; len(sp) > d && sp[d] > 1e-6 {
+				sd = sp[d]
+			}
+			z := (lv[d] - c[d]) / sd
+			sum += z * z
+		}
+		scores = append(scores, scored{typ, math.Sqrt(sum / float64(len(c)))})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].dist != scores[j].dist {
+			return scores[i].dist < scores[j].dist
+		}
+		return scores[i].typ < scores[j].typ
+	})
+	res := Result{Type: scores[0].typ, Distance: scores[0].dist}
+	if len(scores) > 1 {
+		res.Margin = scores[1].dist - scores[0].dist
+	} else {
+		res.Margin = math.Inf(1)
+	}
+	return res, nil
+}
+
+// CountByType classifies a batch of feature vectors and tallies the calls.
+func (m *Model) CountByType(features []Features) (map[microfluidic.Type]int, error) {
+	out := make(map[microfluidic.Type]int)
+	for i, f := range features {
+		res, err := m.Classify(f)
+		if err != nil {
+			return nil, fmt.Errorf("classify: feature %d: %w", i, err)
+		}
+		out[res.Type]++
+	}
+	return out, nil
+}
+
+// Accuracy scores the model against labeled observations, returning the
+// fraction classified correctly.
+func (m *Model) Accuracy(obs []Observation) (float64, error) {
+	if len(obs) == 0 {
+		return 0, errors.New("classify: no observations")
+	}
+	correct := 0
+	for _, o := range obs {
+		res, err := m.Classify(o.Features)
+		if err != nil {
+			return 0, err
+		}
+		if res.Type == o.Type {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(obs)), nil
+}

@@ -1,0 +1,127 @@
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"medsen/internal/microfluidic"
+)
+
+// ConfusionMatrix tallies classifier calls against ground truth: rows are
+// true classes, columns are predicted classes.
+type ConfusionMatrix struct {
+	// Classes lists the row/column order.
+	Classes []microfluidic.Type
+	// Counts[i][j] is the number of class-i observations called class j.
+	Counts [][]int
+}
+
+// Confusion evaluates the model over labeled observations.
+func (m *Model) Confusion(obs []Observation) (ConfusionMatrix, error) {
+	if len(obs) == 0 {
+		return ConfusionMatrix{}, errors.New("classify: no observations")
+	}
+	classSet := make(map[microfluidic.Type]bool)
+	for t := range m.Centroids {
+		classSet[t] = true
+	}
+	for _, o := range obs {
+		classSet[o.Type] = true
+	}
+	classes := make([]microfluidic.Type, 0, len(classSet))
+	for t := range classSet {
+		classes = append(classes, t)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	index := make(map[microfluidic.Type]int, len(classes))
+	for i, t := range classes {
+		index[t] = i
+	}
+
+	cm := ConfusionMatrix{Classes: classes, Counts: make([][]int, len(classes))}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, len(classes))
+	}
+	for _, o := range obs {
+		res, err := m.Classify(o.Features)
+		if err != nil {
+			return ConfusionMatrix{}, err
+		}
+		cm.Counts[index[o.Type]][index[res.Type]]++
+	}
+	return cm, nil
+}
+
+// Accuracy returns the overall fraction of correct calls.
+func (cm ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for i, row := range cm.Counts {
+		for j, n := range row {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall (correct / true instances).
+func (cm ConfusionMatrix) Recall(t microfluidic.Type) float64 {
+	for i, class := range cm.Classes {
+		if class != t {
+			continue
+		}
+		total := 0
+		for _, n := range cm.Counts[i] {
+			total += n
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(cm.Counts[i][i]) / float64(total)
+	}
+	return 0
+}
+
+// Precision returns the per-class precision (correct / predicted instances).
+func (cm ConfusionMatrix) Precision(t microfluidic.Type) float64 {
+	for j, class := range cm.Classes {
+		if class != t {
+			continue
+		}
+		total := 0
+		for i := range cm.Counts {
+			total += cm.Counts[i][j]
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(cm.Counts[j][j]) / float64(total)
+	}
+	return 0
+}
+
+// String renders the matrix as an aligned table.
+func (cm ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "true\\pred")
+	for _, c := range cm.Classes {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for i, c := range cm.Classes {
+		fmt.Fprintf(&b, "%-14s", c)
+		for j := range cm.Classes {
+			fmt.Fprintf(&b, "%14d", cm.Counts[i][j])
+		}
+		b.WriteByte('\n')
+		_ = i
+	}
+	return b.String()
+}

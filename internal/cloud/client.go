@@ -1,0 +1,182 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"medsen/internal/beads"
+	"medsen/internal/csvio"
+	"medsen/internal/lockin"
+)
+
+// Client is the device-side HTTP client for the analysis service. The phone
+// relay uses it to upload measurements; it never carries key material.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://analysis.example.org".
+	BaseURL string
+	// HTTPClient may be overridden for tests or custom transports; nil
+	// uses http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry, when non-nil, retries *safe* (GET) requests on transport
+	// errors and 5xx responses with exponential backoff. Mutating
+	// requests are never retried here — a duplicated upload would store
+	// the capture twice; the phone's OfflineQueue owns that failure
+	// mode instead.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy bounds safe-request retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each retry doubles it.
+	BaseDelay time.Duration
+}
+
+// retryableStatus reports whether an HTTP status merits a retry.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	attempts := 1
+	var delay time.Duration
+	if c.Retry != nil && method == http.MethodGet && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+		delay = c.Retry.BaseDelay
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return errors.Join(ctx.Err(), lastErr)
+			}
+			delay *= 2
+		}
+		retryable, err := c.doOnce(ctx, method, path, body, contentType, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// doOnce performs one request and reports whether a failure is retryable.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType string, out any) (retryable bool, err error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+	if err != nil {
+		return false, fmt.Errorf("cloud: building request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return true, fmt.Errorf("cloud: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr == nil && eb.Error != "" {
+			return retryableStatus(resp.StatusCode),
+				fmt.Errorf("cloud: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return retryableStatus(resp.StatusCode),
+			fmt.Errorf("cloud: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return false, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return false, fmt.Errorf("cloud: decoding %s %s response: %w", method, path, err)
+	}
+	return false, nil
+}
+
+// SubmitCompressed uploads an already zip-compressed capture and returns the
+// analysis id and report.
+func (c *Client) SubmitCompressed(ctx context.Context, payload []byte) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses", payload, "application/zip", &out)
+	return out, err
+}
+
+// SubmitAcquisition compresses and uploads a capture.
+func (c *Client) SubmitAcquisition(ctx context.Context, acq lockin.Acquisition) (SubmitResponse, error) {
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	return c.SubmitCompressed(ctx, payload)
+}
+
+// GetReport fetches a stored analysis report.
+func (c *Client) GetReport(ctx context.Context, id string) (Report, error) {
+	var out Report
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses/"+id, nil, "", &out)
+	return out, err
+}
+
+// Authenticate runs cyto-coded authentication on a stored analysis.
+func (c *Client) Authenticate(ctx context.Context, id string) (AuthResult, error) {
+	var out AuthResult
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses/"+id+"/authenticate", nil, "", &out)
+	return out, err
+}
+
+// Enroll registers a user identifier with the service (provider-side
+// operation).
+func (c *Client) Enroll(ctx context.Context, userID string, id beads.Identifier) error {
+	req := EnrollRequest{UserID: userID, Identifier: make(map[string]int, len(id))}
+	for t, lv := range id {
+		req.Identifier[t.String()] = lv
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cloud: encoding enrollment: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, "/api/v1/users", body, "application/json", nil)
+}
+
+// ListAnalyses returns summaries of every stored analysis.
+func (c *Client) ListAnalyses(ctx context.Context) ([]AnalysisSummary, error) {
+	var out struct {
+		Analyses []AnalysisSummary `json:"analyses"`
+	}
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses", nil, "", &out)
+	return out.Analyses, err
+}
+
+// UserAnalyses lists the analysis ids linked to a user.
+func (c *Client) UserAnalyses(ctx context.Context, userID string) ([]string, error) {
+	var out struct {
+		AnalysisIDs []string `json:"analysis_ids"`
+	}
+	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+userID+"/analyses", nil, "", &out)
+	return out.AnalysisIDs, err
+}

@@ -1,0 +1,220 @@
+// Package cloud implements MedSen's untrusted analysis service (§VI-C): the
+// peak-detection pipeline the paper ran in Matlab on a server — piecewise
+// second-order polynomial detrending, normalization, threshold peak counting
+// — exposed over an HTTP API that accepts the phone's zip uploads, plus the
+// server-side cyto-coded authentication of §V.
+//
+// Everything in this package operates on ciphertext: it sees multiplied,
+// gain-scrambled, width-scrambled peaks and never receives key material.
+// That is the point — the analysis still works, because peak detection does
+// not need the plaintext.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+
+	"medsen/internal/beads"
+	"medsen/internal/classify"
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sigproc"
+)
+
+// AnalysisConfig fixes the server-side pipeline parameters.
+type AnalysisConfig struct {
+	// Detrend configures the piecewise polynomial baseline removal.
+	Detrend sigproc.DetrendConfig
+	// Peaks configures threshold peak detection.
+	Peaks sigproc.PeakConfig
+	// ReferenceCarrierHz is the channel peaks are detected on; per-peak
+	// features are then sampled from every carrier. The paper's Fig. 11
+	// captures use 2 MHz.
+	ReferenceCarrierHz float64
+}
+
+// DefaultAnalysisConfig returns the paper's empirically chosen pipeline:
+// second-order detrending on overlapping sub-sequences, thresholding on
+// (1 − detrended), 2 MHz reference channel.
+func DefaultAnalysisConfig() AnalysisConfig {
+	return AnalysisConfig{
+		Detrend:            sigproc.DefaultDetrendConfig(),
+		Peaks:              sigproc.DefaultPeakConfig(),
+		ReferenceCarrierHz: 2000e3,
+	}
+}
+
+// PeakReport is one detected peak as reported back to the device.
+type PeakReport struct {
+	// TimeS is the apex time in seconds.
+	TimeS float64 `json:"time_s"`
+	// Amplitude is the drop depth on the reference carrier.
+	Amplitude float64 `json:"amplitude"`
+	// WidthS is the above-threshold duration in seconds.
+	WidthS float64 `json:"width_s"`
+	// AmplitudeByCarrier is the drop depth sampled at the same instant on
+	// every carrier, index-aligned with the report's CarriersHz. These
+	// are the classification features of Fig. 16.
+	AmplitudeByCarrier []float64 `json:"amplitude_by_carrier"`
+}
+
+// Report is the complete analysis outcome for one upload — what the cloud
+// sends back to MedSen for decryption (§II: "The server sends the counted
+// number of peaks back to the MedSen sensor for decoding").
+type Report struct {
+	// CarriersHz lists the excitation carriers found in the upload.
+	CarriersHz []float64 `json:"carriers_hz"`
+	// ReferenceCarrierHz is the detection channel.
+	ReferenceCarrierHz float64 `json:"reference_carrier_hz"`
+	// DurationS is the capture length.
+	DurationS float64 `json:"duration_s"`
+	// PeakCount is the headline number: how many peaks the analyst saw.
+	// Under encryption this is a multiple of the true particle count.
+	PeakCount int `json:"peak_count"`
+	// Peaks holds per-peak details.
+	Peaks []PeakReport `json:"peaks"`
+	// SNRdB estimates the capture's signal-to-noise ratio.
+	SNRdB float64 `json:"snr_db"`
+}
+
+// SigprocPeaks converts the report back into sigproc peaks for
+// controller-side decryption.
+func (r Report) SigprocPeaks() []sigproc.Peak {
+	out := make([]sigproc.Peak, len(r.Peaks))
+	for i, p := range r.Peaks {
+		out[i] = sigproc.Peak{Time: p.TimeS, Amplitude: p.Amplitude, Width: p.WidthS}
+	}
+	return out
+}
+
+// Features returns the per-peak multi-carrier feature vectors.
+func (r Report) Features() []classify.Features {
+	out := make([]classify.Features, len(r.Peaks))
+	for i, p := range r.Peaks {
+		out[i] = classify.Features(p.AmplitudeByCarrier)
+	}
+	return out
+}
+
+// Analyze runs the full §VI-C pipeline on an acquisition.
+func Analyze(acq lockin.Acquisition, cfg AnalysisConfig) (Report, error) {
+	if len(acq.Traces) == 0 {
+		return Report{}, errors.New("cloud: empty acquisition")
+	}
+	refIdx := -1
+	for i, f := range acq.CarriersHz {
+		if f == cfg.ReferenceCarrierHz {
+			refIdx = i
+			break
+		}
+	}
+	if refIdx < 0 {
+		// Fall back to the first carrier rather than refusing service:
+		// devices may be configured with fewer carriers.
+		refIdx = 0
+	}
+
+	detrended := make([]sigproc.Trace, len(acq.Traces))
+	for i, tr := range acq.Traces {
+		flat, err := sigproc.Detrend(tr, cfg.Detrend)
+		if err != nil {
+			return Report{}, fmt.Errorf("cloud: detrending carrier %v: %w", acq.CarriersHz[i], err)
+		}
+		detrended[i] = flat
+	}
+	peaks := sigproc.DetectPeaks(detrended[refIdx], cfg.Peaks)
+
+	report := Report{
+		CarriersHz:         append([]float64(nil), acq.CarriersHz...),
+		ReferenceCarrierHz: acq.CarriersHz[refIdx],
+		DurationS:          acq.Duration(),
+		PeakCount:          len(peaks),
+		Peaks:              make([]PeakReport, 0, len(peaks)),
+		SNRdB:              sigproc.SNR(detrended[refIdx], peaks),
+	}
+	for _, p := range peaks {
+		pr := PeakReport{
+			TimeS:              p.Time,
+			Amplitude:          p.Amplitude,
+			WidthS:             p.Width,
+			AmplitudeByCarrier: make([]float64, len(detrended)),
+		}
+		for c, flat := range detrended {
+			// Deepest point within the peak's span on this carrier.
+			depth := 0.0
+			for i := p.Start; i < p.End && i < len(flat.Samples); i++ {
+				if d := 1 - flat.Samples[i]; d > depth {
+					depth = d
+				}
+			}
+			pr.AmplitudeByCarrier[c] = depth
+		}
+		report.Peaks = append(report.Peaks, pr)
+	}
+	return report, nil
+}
+
+// AuthResult is the outcome of server-side cyto-coded authentication.
+type AuthResult struct {
+	// UserID is the matched account (empty if none).
+	UserID string `json:"user_id"`
+	// Authenticated reports whether the bead statistics matched an
+	// enrolled identifier.
+	Authenticated bool `json:"authenticated"`
+	// CountsByType are the classified particle tallies.
+	CountsByType map[string]int `json:"counts_by_type"`
+	// PipetteConcPerUl are the recovered pipette-space bead
+	// concentrations the match was made on.
+	PipetteConcPerUl map[string]float64 `json:"pipette_conc_per_ul"`
+}
+
+// AuthenticateReport classifies every peak in a *plaintext-mode* report
+// (§V: the bead identifier is fed "with the bio-sensor level encryption
+// turned off such that the server-side can recognize the actual number and
+// types of the submitted beads"), recovers per-type bead concentrations,
+// and matches them against the enrolled identifiers.
+//
+// flowUlPerMin is the pump rate, needed to convert counts into
+// concentrations (sampled volume = flow × duration).
+func AuthenticateReport(
+	report Report,
+	model *classify.Model,
+	registry *beads.Registry,
+	flowUlPerMin float64,
+) (AuthResult, error) {
+	if model == nil || registry == nil {
+		return AuthResult{}, errors.New("cloud: nil model or registry")
+	}
+	if flowUlPerMin <= 0 {
+		return AuthResult{}, fmt.Errorf("cloud: non-positive flow %v", flowUlPerMin)
+	}
+	if report.DurationS <= 0 {
+		return AuthResult{}, fmt.Errorf("cloud: report duration %v", report.DurationS)
+	}
+	counts, err := model.CountByType(report.Features())
+	if err != nil {
+		return AuthResult{}, err
+	}
+	sampledUl := flowUlPerMin / 60 * report.DurationS
+	alphabet := registry.Alphabet()
+	pipette := make(map[microfluidic.Type]float64, len(alphabet.Types))
+	for _, t := range alphabet.Types {
+		mixtureConc := float64(counts[t]) / sampledUl
+		pipette[t] = mixtureConc * alphabet.DilutionFactor()
+	}
+	user, ok := registry.Authenticate(pipette)
+
+	res := AuthResult{
+		UserID:           user,
+		Authenticated:    ok,
+		CountsByType:     make(map[string]int, len(counts)),
+		PipetteConcPerUl: make(map[string]float64, len(pipette)),
+	}
+	for t, n := range counts {
+		res.CountsByType[t.String()] = n
+	}
+	for t, c := range pipette {
+		res.PipetteConcPerUl[t.String()] = c
+	}
+	return res, nil
+}

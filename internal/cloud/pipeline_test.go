@@ -1,0 +1,238 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"medsen/internal/beads"
+	"medsen/internal/classify"
+	"medsen/internal/drbg"
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+	"medsen/internal/sigproc"
+)
+
+// quietSensor returns a low-noise device for deterministic pipeline tests.
+func quietSensor() *sensor.Sensor {
+	s := sensor.NewDefault()
+	s.Lockin.NoiseSigma = 0.0001
+	s.Lockin.Drift = lockin.Drift{LinearPerHour: -0.05}
+	s.Loss = microfluidic.LossModel{Disabled: true}
+	return s
+}
+
+func TestAnalyzeCountsPlaintextPeaks(t *testing.T) {
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 200,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 120}, drbg.NewFromSeed(41))
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	report, err := Analyze(res.Acquisition, DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	truth := len(res.Transits)
+	if truth == 0 {
+		t.Fatal("no transits")
+	}
+	if math.Abs(float64(report.PeakCount-truth)) > 0.06*float64(truth)+1 {
+		t.Fatalf("peak count %d, want ~%d", report.PeakCount, truth)
+	}
+	if report.ReferenceCarrierHz != 2000e3 {
+		t.Fatalf("reference carrier %v", report.ReferenceCarrierHz)
+	}
+	if len(report.Peaks) != report.PeakCount {
+		t.Fatalf("peaks list %d != count %d", len(report.Peaks), report.PeakCount)
+	}
+	if math.Abs(report.DurationS-120) > 0.1 {
+		t.Fatalf("duration %v", report.DurationS)
+	}
+	if report.SNRdB <= 0 {
+		t.Fatalf("SNR %v, want positive", report.SNRdB)
+	}
+}
+
+func TestAnalyzePeakFeaturesShowRolloff(t *testing.T) {
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 150,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 90}, drbg.NewFromSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(res.Acquisition, DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Peaks) == 0 {
+		t.Fatal("no peaks")
+	}
+	idx500, idx3000 := -1, -1
+	for i, f := range report.CarriersHz {
+		switch f {
+		case 500e3:
+			idx500 = i
+		case 3000e3:
+			idx3000 = i
+		}
+	}
+	if idx500 < 0 || idx3000 < 0 {
+		t.Fatalf("carriers missing: %v", report.CarriersHz)
+	}
+	// Blood cells respond less at 3 MHz than at 500 kHz (Fig. 15a); the
+	// per-peak features must carry that shape for Fig. 16 clustering.
+	lower := 0
+	for _, p := range report.Peaks {
+		if p.AmplitudeByCarrier[idx3000] < p.AmplitudeByCarrier[idx500] {
+			lower++
+		}
+	}
+	if float64(lower) < 0.9*float64(len(report.Peaks)) {
+		t.Fatalf("only %d/%d peaks show the blood roll-off", lower, len(report.Peaks))
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(lockin.Acquisition{}, DefaultAnalysisConfig()); err == nil {
+		t.Fatal("expected error for empty acquisition")
+	}
+	// Unknown reference carrier falls back to the first channel.
+	acq := lockin.Acquisition{
+		CarriersHz: []float64{123},
+		Traces: []sigproc.Trace{{Rate: 450, Samples: func() []float64 {
+			s := make([]float64, 900)
+			for i := range s {
+				s[i] = 1
+			}
+			return s
+		}()}},
+	}
+	report, err := Analyze(acq, DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatalf("Analyze fallback: %v", err)
+	}
+	if report.ReferenceCarrierHz != 123 {
+		t.Fatalf("fallback reference %v", report.ReferenceCarrierHz)
+	}
+}
+
+func TestReportConversions(t *testing.T) {
+	r := Report{
+		CarriersHz: []float64{500e3, 2000e3},
+		Peaks: []PeakReport{
+			{TimeS: 1, Amplitude: 0.004, WidthS: 0.02, AmplitudeByCarrier: []float64{0.006, 0.004}},
+			{TimeS: 2, Amplitude: 0.003, WidthS: 0.015, AmplitudeByCarrier: []float64{0.003, 0.003}},
+		},
+	}
+	peaks := r.SigprocPeaks()
+	if len(peaks) != 2 || peaks[0].Time != 1 || peaks[1].Amplitude != 0.003 {
+		t.Fatalf("SigprocPeaks = %+v", peaks)
+	}
+	feats := r.Features()
+	if len(feats) != 2 || feats[0][0] != 0.006 {
+		t.Fatalf("Features = %+v", feats)
+	}
+}
+
+func TestAuthenticateReportEndToEnd(t *testing.T) {
+	s := quietSensor()
+	registry, err := beads.NewRegistry(beads.DefaultAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := beads.Identifier{microfluidic.TypeBead358: 2, microfluidic.TypeBead780: 4}
+	if err := registry.Enroll("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	blood := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 1500,
+	})
+	mixed, err := registry.Alphabet().MixedSample(id, blood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plaintext mode (§V: encryption off for server-side bead counting).
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: mixed, DurationS: 240}, drbg.NewFromSeed(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(res.Acquisition, DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := classify.ReferenceModel(res.Acquisition.CarriersHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := AuthenticateReport(report, model, registry, s.Channel.FlowRateUlMin)
+	if err != nil {
+		t.Fatalf("AuthenticateReport: %v", err)
+	}
+	if !auth.Authenticated || auth.UserID != "alice" {
+		t.Fatalf("auth = %+v; bead counts %v, pipette conc %v",
+			auth, auth.CountsByType, auth.PipetteConcPerUl)
+	}
+}
+
+func TestAuthenticateReportRejectsImpostor(t *testing.T) {
+	s := quietSensor()
+	registry, err := beads.NewRegistry(beads.DefaultAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Enroll("alice", beads.Identifier{microfluidic.TypeBead358: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Mallory submits plain blood with no password beads.
+	blood := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 1500,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: blood, DurationS: 120}, drbg.NewFromSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(res.Acquisition, DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := classify.ReferenceModel(res.Acquisition.CarriersHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := AuthenticateReport(report, model, registry, s.Channel.FlowRateUlMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth.Authenticated {
+		t.Fatalf("impostor authenticated as %q", auth.UserID)
+	}
+}
+
+func TestAuthenticateReportValidation(t *testing.T) {
+	registry, err := beads.NewRegistry(beads.DefaultAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := classify.ReferenceModel([]float64{500e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := Report{DurationS: 60}
+	if _, err := AuthenticateReport(report, nil, registry, 0.08); err == nil {
+		t.Error("expected error for nil model")
+	}
+	if _, err := AuthenticateReport(report, model, nil, 0.08); err == nil {
+		t.Error("expected error for nil registry")
+	}
+	if _, err := AuthenticateReport(report, model, registry, 0); err == nil {
+		t.Error("expected error for zero flow")
+	}
+	if _, err := AuthenticateReport(Report{}, model, registry, 0.08); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}

@@ -1,0 +1,339 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"medsen/internal/beads"
+	"medsen/internal/classify"
+	"medsen/internal/csvio"
+	"medsen/internal/microfluidic"
+)
+
+// maxUploadBytes bounds one measurement upload (a 3 h capture compresses to
+// ~240 MB in the paper; we stay well above typical test sizes but finite).
+const maxUploadBytes = 1 << 30
+
+// Service is the cloud analysis server: it accepts zip-compressed CSV
+// uploads, runs the peak-detection pipeline, stores reports for later
+// retrieval, authenticates users by bead statistics, and links identities to
+// stored results. It holds no keys and sees only ciphertext.
+type Service struct {
+	cfg          AnalysisConfig
+	model        *classify.Model
+	registry     *beads.Registry
+	flowUlPerMin float64
+	stateDir     string
+
+	mu       sync.RWMutex
+	analyses map[string]*storedAnalysis
+	byUser   map[string][]string
+	nextID   int
+	metrics  Metrics
+}
+
+type storedAnalysis struct {
+	Report Report
+	UserID string
+}
+
+// ServiceConfig bundles the service dependencies.
+type ServiceConfig struct {
+	// Analysis configures the DSP pipeline (zero value → defaults).
+	Analysis AnalysisConfig
+	// Model classifies peak features for authentication; nil installs
+	// the physics-calibrated reference model over the paper's carriers.
+	Model *classify.Model
+	// Registry holds enrolled identifiers; nil creates an empty registry
+	// over the default alphabet.
+	Registry *beads.Registry
+	// FlowUlPerMin is the device pump rate used to convert counts to
+	// concentrations (0 → the paper's 0.08 µL/min).
+	FlowUlPerMin float64
+	// StateDir, when non-empty, persists every analysis to disk so the
+	// store survives restarts (one JSON document per analysis).
+	StateDir string
+}
+
+// NewService builds the analysis service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Analysis.ReferenceCarrierHz == 0 {
+		cfg.Analysis = DefaultAnalysisConfig()
+	}
+	if cfg.Model == nil {
+		m, err := classify.ReferenceModel([]float64{500e3, 800e3, 1000e3, 1200e3, 1400e3, 2000e3, 3000e3, 4000e3})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Model = m
+	}
+	if cfg.Registry == nil {
+		r, err := beads.NewRegistry(beads.DefaultAlphabet())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Registry = r
+	}
+	if cfg.FlowUlPerMin == 0 {
+		cfg.FlowUlPerMin = 0.08
+	}
+	if cfg.FlowUlPerMin < 0 {
+		return nil, fmt.Errorf("cloud: negative flow %v", cfg.FlowUlPerMin)
+	}
+	s := &Service{
+		cfg:          cfg.Analysis,
+		model:        cfg.Model,
+		registry:     cfg.Registry,
+		flowUlPerMin: cfg.FlowUlPerMin,
+		stateDir:     cfg.StateDir,
+		analyses:     make(map[string]*storedAnalysis),
+		byUser:       make(map[string][]string),
+	}
+	if err := s.loadState(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Registry exposes the enrollment store (e.g. for out-of-band enrollment by
+// the provider).
+func (s *Service) Registry() *beads.Registry { return s.registry }
+
+// Handler returns the HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/analyses", s.handleListAnalyses)
+	mux.HandleFunc("POST /api/v1/analyses", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/analyses/{id}", s.handleGetAnalysis)
+	mux.HandleFunc("POST /api/v1/analyses/{id}/authenticate", s.handleAuthenticate)
+	mux.HandleFunc("POST /api/v1/users", s.handleEnroll)
+	mux.HandleFunc("GET /api/v1/users/{id}/analyses", s.handleUserAnalyses)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is committed can only be logged;
+	// for this in-memory service the encode cannot fail on our types.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SubmitResponse is returned by the upload endpoint.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Report Report `json:"report"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+		return
+	}
+	if len(body) > maxUploadBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds limit"))
+		return
+	}
+	acq, err := csvio.DecompressAcquisition(body)
+	if err != nil {
+		s.countUploadError()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := Analyze(acq, s.cfg)
+	if err != nil {
+		s.countUploadError()
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	s.metrics.Uploads++
+	id := "an-" + strconv.Itoa(s.nextID)
+	stored := &storedAnalysis{Report: report}
+	s.analyses[id] = stored
+	err = s.persistAnalysis(id, stored)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Report: report})
+}
+
+// AnalysisSummary is one row of the analyses listing.
+type AnalysisSummary struct {
+	ID        string  `json:"id"`
+	UserID    string  `json:"user_id,omitempty"`
+	PeakCount int     `json:"peak_count"`
+	DurationS float64 `json:"duration_s"`
+}
+
+func (s *Service) handleListAnalyses(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	summaries := make([]AnalysisSummary, 0, len(s.analyses))
+	for id, stored := range s.analyses {
+		summaries = append(summaries, AnalysisSummary{
+			ID:        id,
+			UserID:    stored.UserID,
+			PeakCount: stored.Report.PeakCount,
+			DurationS: stored.Report.DurationS,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(summaries, func(i, j int) bool {
+		ni, erri := idNumber(summaries[i].ID)
+		nj, errj := idNumber(summaries[j].ID)
+		if erri != nil || errj != nil {
+			return summaries[i].ID < summaries[j].ID
+		}
+		return ni < nj
+	})
+	writeJSON(w, http.StatusOK, map[string][]AnalysisSummary{"analyses": summaries})
+}
+
+func (s *Service) handleGetAnalysis(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	stored, ok := s.analyses[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("analysis %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, stored.Report)
+}
+
+func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	stored, ok := s.analyses[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("analysis %q not found", id))
+		return
+	}
+	res, err := AuthenticateReport(stored.Report, s.model, s.registry, s.flowUlPerMin)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	s.metrics.Authentications++
+	if res.Authenticated {
+		s.metrics.AuthAccepted++
+	}
+	s.mu.Unlock()
+	if res.Authenticated {
+		s.mu.Lock()
+		var persistErr error
+		if stored.UserID != res.UserID {
+			stored.UserID = res.UserID
+			s.byUser[res.UserID] = append(s.byUser[res.UserID], id)
+			persistErr = s.persistAnalysis(id, stored)
+		}
+		s.mu.Unlock()
+		if persistErr != nil {
+			writeError(w, http.StatusInternalServerError, persistErr)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// EnrollRequest registers a user's cyto-coded identifier (performed by the
+// healthcare provider out of band — the patient never types it anywhere).
+type EnrollRequest struct {
+	UserID string `json:"user_id"`
+	// Identifier maps particle type names to level indexes, e.g.
+	// {"bead-3.58um": 2, "bead-7.8um": 4}.
+	Identifier map[string]int `json:"identifier"`
+}
+
+func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	var req EnrollRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding enrollment: %w", err))
+		return
+	}
+	id := make(beads.Identifier, len(req.Identifier))
+	for name, lv := range req.Identifier {
+		t, err := microfluidic.TypeFromName(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		id[t] = lv
+	}
+	if err := s.registry.Enroll(req.UserID, id); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, beads.ErrDuplicateIdentifier) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"user_id": req.UserID})
+}
+
+func (s *Service) handleUserAnalyses(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("id")
+	s.mu.RLock()
+	ids := append([]string(nil), s.byUser[user]...)
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	writeJSON(w, http.StatusOK, map[string][]string{"analysis_ids": ids})
+}
+
+// countUploadError increments the upload failure counter.
+func (s *Service) countUploadError() {
+	s.mu.Lock()
+	s.metrics.UploadErrors++
+	s.mu.Unlock()
+}
+
+// Metrics are the service's lifetime counters, exposed at GET /metrics for
+// operations visibility.
+type Metrics struct {
+	Uploads         int64 `json:"uploads"`
+	UploadErrors    int64 `json:"upload_errors"`
+	Authentications int64 `json:"authentications"`
+	AuthAccepted    int64 `json:"auth_accepted"`
+	StoredAnalyses  int   `json:"stored_analyses"`
+	EnrolledUsers   int   `json:"enrolled_users"`
+}
+
+// Snapshot returns the current counters.
+func (s *Service) Snapshot() Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.metrics
+	m.StoredAnalyses = len(s.analyses)
+	m.EnrolledUsers = s.registry.Len()
+	return m
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,338 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"medsen/internal/beads"
+	"medsen/internal/drbg"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server, *Client) {
+	t.Helper()
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts, &Client{BaseURL: ts.URL}
+}
+
+func TestServiceHealth(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitAndFetchAnalysis(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 200,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 60}, drbg.NewFromSeed(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+	if err != nil {
+		t.Fatalf("SubmitAcquisition: %v", err)
+	}
+	if sub.ID == "" {
+		t.Fatal("empty analysis id")
+	}
+	if sub.Report.PeakCount == 0 {
+		t.Fatal("no peaks detected server-side")
+	}
+	got, err := client.GetReport(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("GetReport: %v", err)
+	}
+	if got.PeakCount != sub.Report.PeakCount {
+		t.Fatalf("stored report differs: %d vs %d", got.PeakCount, sub.Report.PeakCount)
+	}
+}
+
+func TestGetUnknownAnalysis(t *testing.T) {
+	_, _, client := newTestServer(t)
+	if _, err := client.GetReport(context.Background(), "an-999"); err == nil {
+		t.Fatal("expected 404 error")
+	}
+}
+
+func TestSubmitRejectsGarbage(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/v1/analyses", "application/zip",
+		strings.NewReader("not a zip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestEnrollAndAuthenticateOverHTTP(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+
+	id := beads.Identifier{microfluidic.TypeBead358: 2, microfluidic.TypeBead780: 4}
+	if err := client.Enroll(ctx, "alice", id); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	// Duplicate identifier for another user → 409.
+	if err := client.Enroll(ctx, "mallory", id); err == nil {
+		t.Fatal("expected conflict for duplicate identifier")
+	}
+
+	s := quietSensor()
+	alphabet := beads.DefaultAlphabet()
+	blood := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 1500,
+	})
+	mixed, err := alphabet.MixedSample(id, blood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: mixed, DurationS: 240}, drbg.NewFromSeed(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := client.Authenticate(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("Authenticate: %v", err)
+	}
+	if !auth.Authenticated || auth.UserID != "alice" {
+		t.Fatalf("auth = %+v", auth)
+	}
+	// The analysis is now linked to alice's account.
+	ids, err := client.UserAnalyses(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != sub.ID {
+		t.Fatalf("user analyses = %v, want [%s]", ids, sub.ID)
+	}
+}
+
+func TestAuthenticateUnknownAnalysis(t *testing.T) {
+	_, _, client := newTestServer(t)
+	if _, err := client.Authenticate(context.Background(), "an-404"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEnrollValidationOverHTTP(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, body := range []string{
+		`{"user_id":"","identifier":{"bead-3.58um":1}}`,
+		`{"user_id":"u","identifier":{"unobtainium":1}}`,
+		`{"user_id":"u","identifier":{}}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/users", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 {
+			t.Errorf("body %q accepted with status %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestUserAnalysesEmptyForUnknown(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ids, err := client.UserAnalyses(context.Background(), "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("expected no analyses, got %v", ids)
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(ServiceConfig{FlowUlPerMin: -1}); err == nil {
+		t.Fatal("expected error for negative flow")
+	}
+}
+
+func TestListAnalyses(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+
+	empty, err := client.ListAnalyses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("expected empty listing, got %v", empty)
+	}
+
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.ID)
+	}
+	got, err := client.ListAnalyses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("listed %d analyses, want 3", len(got))
+	}
+	for i, summary := range got {
+		if summary.ID != ids[i] {
+			t.Fatalf("listing order: got %s at %d, want %s", summary.ID, i, ids[i])
+		}
+		if summary.PeakCount == 0 || summary.DurationS == 0 {
+			t.Fatalf("incomplete summary: %+v", summary)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	svc, ts, client := newTestServer(t)
+	ctx := context.Background()
+
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SubmitAcquisition(ctx, res.Acquisition); err != nil {
+		t.Fatal(err)
+	}
+	// A bad upload bumps the error counter.
+	resp, err := http.Post(ts.URL+"/api/v1/analyses", "application/zip", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	m := svc.Snapshot()
+	if m.Uploads != 1 || m.UploadErrors != 1 || m.StoredAnalyses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// The HTTP endpoint serves the same counters.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Uploads != 1 || wire.UploadErrors != 1 {
+		t.Fatalf("wire metrics = %+v", wire)
+	}
+}
+
+func TestClientRetriesSafeRequests(t *testing.T) {
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := svc.Handler()
+	var fails atomic.Int32
+	fails.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && fails.Load() > 0 {
+			fails.Add(-1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	client := &Client{
+		BaseURL: ts.URL,
+		Retry:   &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond},
+	}
+	ctx := context.Background()
+
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+	if err != nil {
+		t.Fatalf("submit (no retry needed): %v", err)
+	}
+	// The first two GETs 503; the retry policy rides them out.
+	if _, err := client.GetReport(ctx, sub.ID); err != nil {
+		t.Fatalf("GetReport with retries: %v", err)
+	}
+	if fails.Load() != 0 {
+		t.Fatalf("retries not consumed: %d left", fails.Load())
+	}
+
+	// Non-retryable statuses fail immediately.
+	if _, err := client.GetReport(ctx, "an-404"); err == nil {
+		t.Fatal("404 should not be retried into success")
+	}
+}
+
+func TestClientRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	client := &Client{
+		BaseURL: ts.URL,
+		Retry:   &RetryPolicy{MaxAttempts: 50, BaseDelay: 50 * time.Millisecond},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.GetReport(ctx, "an-1")
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("retry loop ignored context cancellation")
+	}
+}

@@ -1,0 +1,99 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Disk persistence for the analysis store. The paper's deployment stores
+// results in the cloud "for a later access by the patient's practitioner";
+// a service restart must not lose them. Persistence is write-through: the
+// in-memory maps remain the serving path, every mutation is mirrored to one
+// JSON document per analysis under the state directory.
+
+// persistedAnalysis is the on-disk document.
+type persistedAnalysis struct {
+	ID     string `json:"id"`
+	UserID string `json:"user_id,omitempty"`
+	Report Report `json:"report"`
+}
+
+// analysisFileName returns the document path for an analysis id.
+func (s *Service) analysisFileName(id string) string {
+	return filepath.Join(s.stateDir, id+".json")
+}
+
+// persistAnalysis mirrors one analysis to disk (no-op without a state dir).
+// Callers must hold s.mu.
+func (s *Service) persistAnalysis(id string, stored *storedAnalysis) error {
+	if s.stateDir == "" {
+		return nil
+	}
+	doc := persistedAnalysis{ID: id, UserID: stored.UserID, Report: stored.Report}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("cloud: encoding %s: %w", id, err)
+	}
+	tmp := s.analysisFileName(id) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("cloud: writing %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, s.analysisFileName(id)); err != nil {
+		return fmt.Errorf("cloud: committing %s: %w", id, err)
+	}
+	return nil
+}
+
+// loadState restores analyses from the state directory into the in-memory
+// maps and advances the id counter past every persisted document.
+func (s *Service) loadState() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.stateDir, 0o700); err != nil {
+		return fmt.Errorf("cloud: creating state dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.stateDir)
+	if err != nil {
+		return fmt.Errorf("cloud: reading state dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.stateDir, name))
+		if err != nil {
+			return fmt.Errorf("cloud: reading %s: %w", name, err)
+		}
+		var doc persistedAnalysis
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("cloud: decoding %s: %w", name, err)
+		}
+		if doc.ID == "" {
+			return fmt.Errorf("cloud: document %s lacks an id", name)
+		}
+		s.analyses[doc.ID] = &storedAnalysis{Report: doc.Report, UserID: doc.UserID}
+		if doc.UserID != "" {
+			s.byUser[doc.UserID] = append(s.byUser[doc.UserID], doc.ID)
+		}
+		if n, err := idNumber(doc.ID); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	return nil
+}
+
+// idNumber extracts the counter from an "an-N" analysis id.
+func idNumber(id string) (int, error) {
+	rest, ok := strings.CutPrefix(id, "an-")
+	if !ok {
+		return 0, errors.New("cloud: unrecognized analysis id")
+	}
+	return strconv.Atoi(rest)
+}

@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"medsen/internal/diagnosis"
+)
+
+// Device-local diagnostic records. §II: "the diagnostic information can be
+// returned to a patient or stored in cloud for a later access by the
+// patient's practitioner" — the cloud copy is ciphertext-derived and
+// account-linked; the *plaintext* outcome exists only on the device, so the
+// device keeps its own append-only record log for the patient's history and
+// the trend tracker.
+
+// Record is one persisted diagnostic outcome.
+type Record struct {
+	// Time is when the diagnostic completed.
+	Time time.Time `json:"time"`
+	// Panel is the test name.
+	Panel string `json:"panel"`
+	// ConcentrationPerUl is the recovered analyte concentration.
+	ConcentrationPerUl float64 `json:"concentration_per_ul"`
+	// Label and Severity are the clinical reading.
+	Label    string `json:"label"`
+	Severity string `json:"severity"`
+	// CellCount and CiphertextPeaks document the run.
+	CellCount       int `json:"cell_count"`
+	CiphertextPeaks int `json:"ciphertext_peaks"`
+	// IntegrityOK records the §V check outcome when it ran.
+	IntegrityOK *bool `json:"integrity_ok,omitempty"`
+}
+
+// RecordLog is an append-only JSONL file of diagnostic outcomes. It is safe
+// for concurrent use within one process.
+type RecordLog struct {
+	// Path is the log file location.
+	Path string
+
+	mu sync.Mutex
+}
+
+// Append persists one diagnostic result with the given timestamp.
+func (l *RecordLog) Append(at time.Time, res DiagnosticResult) error {
+	if l.Path == "" {
+		return errors.New("controller: record log has no path")
+	}
+	if at.IsZero() {
+		return errors.New("controller: record needs a timestamp")
+	}
+	rec := Record{
+		Time:               at,
+		Panel:              res.Diagnosis.Panel,
+		ConcentrationPerUl: res.Diagnosis.ConcentrationPerUl,
+		Label:              res.Diagnosis.Label,
+		Severity:           res.Diagnosis.Severity.String(),
+		CellCount:          res.CellCount,
+		CiphertextPeaks:    res.CiphertextPeaks,
+	}
+	if res.IntegrityChecked {
+		ok := res.IntegrityOK
+		rec.IntegrityOK = &ok
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("controller: encoding record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.OpenFile(l.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("controller: opening record log: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("controller: appending record: %w", err)
+	}
+	return nil
+}
+
+// Load reads all records in append order.
+func (l *RecordLog) Load() ([]Record, error) {
+	if l.Path == "" {
+		return nil, errors.New("controller: record log has no path")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.Open(l.Path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("controller: opening record log: %w", err)
+	}
+	defer f.Close()
+
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("controller: record line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("controller: reading record log: %w", err)
+	}
+	return out, nil
+}
+
+// History converts the log into a trend-tracking history for the given
+// panel, keeping only matching records.
+func (l *RecordLog) History(panel diagnosis.Panel) (*diagnosis.History, error) {
+	records, err := l.Load()
+	if err != nil {
+		return nil, err
+	}
+	h, err := diagnosis.NewHistory(panel)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		if rec.Panel != panel.Name {
+			continue
+		}
+		if err := h.Add(diagnosis.Observation{
+			Time:               rec.Time,
+			ConcentrationPerUl: rec.ConcentrationPerUl,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"medsen/internal/diagnosis"
+)
+
+func sampleResult(conc float64) DiagnosticResult {
+	res := DiagnosticResult{
+		CellCount:       int(conc * 0.32),
+		CiphertextPeaks: int(conc * 2),
+	}
+	res.Diagnosis, _ = diagnosis.CD4Panel().Diagnose(conc)
+	return res
+}
+
+func logAt(t *testing.T) *RecordLog {
+	t.Helper()
+	return &RecordLog{Path: filepath.Join(t.TempDir(), "records.jsonl")}
+}
+
+func day(n int) time.Time {
+	return time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func TestRecordLogAppendLoad(t *testing.T) {
+	l := logAt(t)
+	for i, conc := range []float64{600, 580, 560} {
+		if err := l.Append(day(i), sampleResult(conc)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	records, err := l.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0].ConcentrationPerUl != 600 || records[2].ConcentrationPerUl != 560 {
+		t.Fatalf("order wrong: %+v", records)
+	}
+	if records[0].Panel != "CD4 count" || records[0].Severity != "normal" {
+		t.Fatalf("record content: %+v", records[0])
+	}
+	if records[0].IntegrityOK != nil {
+		t.Fatal("integrity field should be absent when the check did not run")
+	}
+}
+
+func TestRecordLogIntegrityField(t *testing.T) {
+	l := logAt(t)
+	res := sampleResult(500)
+	res.IntegrityChecked = true
+	res.IntegrityOK = true
+	if err := l.Append(day(0), res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records[0].IntegrityOK == nil || !*records[0].IntegrityOK {
+		t.Fatalf("integrity not recorded: %+v", records[0])
+	}
+}
+
+func TestRecordLogEmptyAndMissing(t *testing.T) {
+	l := logAt(t)
+	records, err := l.Load()
+	if err != nil {
+		t.Fatalf("Load on missing file: %v", err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("records = %v", records)
+	}
+	bad := &RecordLog{}
+	if err := bad.Append(day(0), sampleResult(100)); err == nil {
+		t.Error("expected error without a path")
+	}
+	if _, err := bad.Load(); err == nil {
+		t.Error("expected error without a path")
+	}
+	if err := l.Append(time.Time{}, sampleResult(100)); err == nil {
+		t.Error("expected error for zero timestamp")
+	}
+}
+
+func TestRecordLogRejectsCorruptLine(t *testing.T) {
+	l := logAt(t)
+	if err := l.Append(day(0), sampleResult(400)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(l.Path, os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{broken\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := l.Load(); err == nil {
+		t.Fatal("expected error for corrupt line")
+	}
+}
+
+func TestRecordLogHistoryFeedsTrend(t *testing.T) {
+	l := logAt(t)
+	// A declining series plus one record from a different panel that the
+	// history must skip.
+	for i, conc := range []float64{620, 610, 600, 590, 580} {
+		if err := l.Append(day(i), sampleResult(conc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other := DiagnosticResult{}
+	other.Diagnosis, _ = diagnosis.PlateletPanel().Diagnose(200)
+	if err := l.Append(day(5), other); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := l.History(diagnosis.CD4Panel())
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("history has %d observations, want 5 (platelet record skipped)", h.Len())
+	}
+	slope, err := h.SlopePerDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope > -9 || slope < -11 {
+		t.Fatalf("slope = %v, want ~-10/day", slope)
+	}
+}

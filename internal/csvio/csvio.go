@@ -1,0 +1,187 @@
+// Package csvio serializes acquisitions the way the MedSen prototype ships
+// them to the cloud: CSV files of demodulated multi-carrier samples (§VII-B,
+// "approximately 600MB of encrypted bio-sensor measurements, captured in csv
+// files"), bundled into zip archives by the phone to save 4G transfer volume
+// ("MedSen implements zip data compression on the smartphone. This reduced
+// the sample size to 240MB").
+package csvio
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"medsen/internal/lockin"
+	"medsen/internal/sigproc"
+)
+
+// MeasurementsFileName is the archive member holding the CSV payload.
+const MeasurementsFileName = "measurements.csv"
+
+// ErrBadCSV reports a malformed measurements file.
+var ErrBadCSV = errors.New("csvio: malformed measurements CSV")
+
+// EncodeAcquisition writes the acquisition as CSV: a header row of
+// "time_s,ch_<freq>Hz,..." followed by one row per sample instant.
+func EncodeAcquisition(w io.Writer, acq lockin.Acquisition) error {
+	if len(acq.Traces) == 0 {
+		return errors.New("csvio: empty acquisition")
+	}
+	n := len(acq.Traces[0].Samples)
+	rate := acq.Traces[0].Rate
+	for i, tr := range acq.Traces {
+		if len(tr.Samples) != n {
+			return fmt.Errorf("csvio: trace %d has %d samples, want %d", i, len(tr.Samples), n)
+		}
+		if tr.Rate != rate {
+			return fmt.Errorf("csvio: trace %d rate %v differs from %v", i, tr.Rate, rate)
+		}
+	}
+
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(acq.CarriersHz)+1)
+	header = append(header, "time_s")
+	for _, f := range acq.CarriersHz {
+		header = append(header, fmt.Sprintf("ch_%dHz", int64(f)))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csvio: writing header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(float64(i)/rate, 'g', -1, 64)
+		for c, tr := range acq.Traces {
+			row[c+1] = strconv.FormatFloat(tr.Samples[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csvio: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("csvio: flushing: %w", err)
+	}
+	return nil
+}
+
+// DecodeAcquisition parses a CSV produced by EncodeAcquisition. The sampling
+// rate is recovered from the time column.
+func DecodeAcquisition(r io.Reader) (lockin.Acquisition, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return lockin.Acquisition{}, fmt.Errorf("%w: missing header: %v", ErrBadCSV, err)
+	}
+	if len(header) < 2 || header[0] != "time_s" {
+		return lockin.Acquisition{}, fmt.Errorf("%w: bad header %q", ErrBadCSV, header)
+	}
+	carriers := make([]float64, 0, len(header)-1)
+	for _, col := range header[1:] {
+		var hz int64
+		if _, err := fmt.Sscanf(col, "ch_%dHz", &hz); err != nil {
+			return lockin.Acquisition{}, fmt.Errorf("%w: bad channel column %q", ErrBadCSV, col)
+		}
+		carriers = append(carriers, float64(hz))
+	}
+
+	samples := make([][]float64, len(carriers))
+	var times []float64
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return lockin.Acquisition{}, fmt.Errorf("%w: %v", ErrBadCSV, err)
+		}
+		if len(rec) != len(carriers)+1 {
+			return lockin.Acquisition{}, fmt.Errorf("%w: row has %d fields, want %d",
+				ErrBadCSV, len(rec), len(carriers)+1)
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return lockin.Acquisition{}, fmt.Errorf("%w: bad time %q", ErrBadCSV, rec[0])
+		}
+		times = append(times, t)
+		for c := range carriers {
+			v, err := strconv.ParseFloat(rec[c+1], 64)
+			if err != nil {
+				return lockin.Acquisition{}, fmt.Errorf("%w: bad value %q", ErrBadCSV, rec[c+1])
+			}
+			samples[c] = append(samples[c], v)
+		}
+	}
+	if len(times) < 2 {
+		return lockin.Acquisition{}, fmt.Errorf("%w: need at least 2 samples", ErrBadCSV)
+	}
+	rate := float64(len(times)-1) / (times[len(times)-1] - times[0])
+
+	acq := lockin.Acquisition{
+		CarriersHz: carriers,
+		Traces:     make([]sigproc.Trace, len(carriers)),
+	}
+	for c := range carriers {
+		acq.Traces[c] = sigproc.Trace{Rate: rate, Samples: samples[c]}
+	}
+	return acq, nil
+}
+
+// CompressAcquisition encodes the acquisition as CSV inside a zip archive —
+// the exact payload the phone uploads.
+func CompressAcquisition(acq lockin.Acquisition) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	f, err := zw.Create(MeasurementsFileName)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: creating archive member: %w", err)
+	}
+	if err := EncodeAcquisition(f, acq); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("csvio: closing archive: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressAcquisition reverses CompressAcquisition.
+func DecompressAcquisition(data []byte) (lockin.Acquisition, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return lockin.Acquisition{}, fmt.Errorf("csvio: opening archive: %w", err)
+	}
+	for _, f := range zr.File {
+		if f.Name != MeasurementsFileName {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return lockin.Acquisition{}, fmt.Errorf("csvio: opening member: %w", err)
+		}
+		defer rc.Close()
+		return DecodeAcquisition(rc)
+	}
+	return lockin.Acquisition{}, fmt.Errorf("csvio: archive lacks %s", MeasurementsFileName)
+}
+
+// CSVSize returns the exact size in bytes of the CSV encoding without
+// retaining it (used by the §VII-B data-volume experiment).
+func CSVSize(acq lockin.Acquisition) (int64, error) {
+	var counter countingWriter
+	if err := EncodeAcquisition(&counter, acq); err != nil {
+		return 0, err
+	}
+	return counter.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

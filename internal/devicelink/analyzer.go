@@ -1,0 +1,57 @@
+package devicelink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"medsen/internal/cloud"
+	"medsen/internal/lockin"
+)
+
+// LinkedAnalyzer implements the controller's Analyzer port over the
+// accessory link: each analysis dials the phone (in the prototype, the USB
+// connection event), ships the ciphertext through the phone app, and
+// returns the cloud's peak report. This closes the loop on the paper's
+// Fig. 2 topology — controller → USB → phone → 4G → cloud — with every hop
+// running this repository's real protocol code.
+type LinkedAnalyzer struct {
+	// Dial opens a fresh transport to the phone daemon (e.g. a TCP
+	// connection standing in for the USB accessory endpoint).
+	Dial func(ctx context.Context) (io.ReadWriteCloser, error)
+	// Progress receives device-side status lines. May be nil.
+	Progress func(string)
+}
+
+// Analyze implements controller.Analyzer.
+func (a *LinkedAnalyzer) Analyze(ctx context.Context, acq lockin.Acquisition) (cloud.Report, error) {
+	if a.Dial == nil {
+		return cloud.Report{}, errors.New("devicelink: analyzer has no dialer")
+	}
+	conn, err := a.Dial(ctx)
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: dialing phone: %w", err)
+	}
+	defer conn.Close()
+
+	type result struct {
+		report cloud.Report
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		report, err := DeviceSend(conn, acq, a.Progress)
+		done <- result{report, err}
+	}()
+	select {
+	case r := <-done:
+		return r.report, r.err
+	case <-ctx.Done():
+		// Closing the transport unblocks DeviceSend; drain it so the
+		// goroutine exits.
+		_ = conn.Close()
+		<-done
+		return cloud.Report{}, ctx.Err()
+	}
+}

@@ -1,0 +1,68 @@
+package devicelink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"medsen/internal/phone"
+)
+
+// PhoneDaemon is the phone-app half run as a long-lived service: it accepts
+// device connections (over any net.Listener standing in for the USB
+// transport) and serves one transfer per connection, mirroring the
+// prototype's always-on companion app. The §VI-D Pi daemon is the device
+// side of the same link; in this codebase the device side is driven
+// per-diagnostic by DeviceSend.
+type PhoneDaemon struct {
+	// Relay performs the cloud upload for each session.
+	Relay *phone.Relay
+	// OnSession, when non-nil, receives the analysis id (or error) of
+	// each completed session.
+	OnSession func(id string, err error)
+}
+
+// Serve accepts and serves connections until the listener is closed or the
+// context is cancelled. Each connection is handled on its own goroutine;
+// Serve returns only after all in-flight sessions complete.
+func (d *PhoneDaemon) Serve(ctx context.Context, ln net.Listener) error {
+	if d.Relay == nil {
+		return errors.New("devicelink: daemon has no relay")
+	}
+	if ln == nil {
+		return errors.New("devicelink: nil listener")
+	}
+	// Close the listener when the context ends so Accept unblocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = ln.Close()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("devicelink: accept: %w", err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			id, err := PhoneServe(ctx, conn, d.Relay)
+			if d.OnSession != nil {
+				d.OnSession(id, err)
+			}
+		}(conn)
+	}
+}

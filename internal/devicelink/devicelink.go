@@ -1,0 +1,178 @@
+// Package devicelink implements the full controller↔phone data path of the
+// prototype (Figs. 9–10, §VI-D): the controller runs a daemon on the USB
+// accessory link; when a phone connects, the two sides handshake, the
+// controller streams the (already encrypted) zip-compressed measurements
+// over CRC-framed accessory messages interleaved with progress updates for
+// the phone UI, the phone app uploads them to the cloud over its cellular
+// link, and the analysis report travels back over the same framed link.
+//
+// The phone side holds no keys; everything it handles is ciphertext and the
+// already-public peak report.
+package devicelink
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"medsen/internal/accessory"
+	"medsen/internal/cloud"
+	"medsen/internal/csvio"
+	"medsen/internal/lockin"
+	"medsen/internal/phone"
+)
+
+// DeviceSend runs the controller's side of one measurement transfer over the
+// accessory transport rw: handshake, upload the capture, receive the
+// analysis report back. progress (may be nil) receives UI status lines that
+// are also forwarded to the phone.
+func DeviceSend(rw io.ReadWriter, acq lockin.Acquisition, progress func(string)) (cloud.Report, error) {
+	conn, err := accessory.Handshake(rw, accessory.DefaultIdentity())
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: handshake: %w", err)
+	}
+	note := func(s string) {
+		if progress != nil {
+			progress(s)
+		}
+		// Best-effort UI update; a lost progress frame is not an error.
+		_ = conn.SendProgress(s)
+	}
+
+	note("compressing measurements")
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		return cloud.Report{}, err
+	}
+	note(fmt.Sprintf("sending %d bytes to phone", len(payload)))
+	if _, err := conn.SendData(payload); err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: sending measurements: %w", err)
+	}
+
+	reportJSON, err := conn.ReceiveData(progress)
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: receiving report: %w", err)
+	}
+	var report cloud.Report
+	if err := json.Unmarshal(reportJSON, &report); err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: decoding report: %w", err)
+	}
+	return report, nil
+}
+
+// PhoneServe runs the phone app's side of one transfer: handshake, receive
+// the compressed measurements, upload them through the relay, and return the
+// report to the device. It returns the analysis id for later retrieval.
+func PhoneServe(ctx context.Context, rw io.ReadWriter, relay *phone.Relay) (string, error) {
+	if relay == nil || relay.Client == nil {
+		return "", errors.New("devicelink: phone relay not configured")
+	}
+	phoneID := accessory.Identity{Manufacturer: "Google", Model: "Nexus 5", Version: "Android 4.4"}
+	conn, err := accessory.Handshake(rw, phoneID)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: handshake: %w", err)
+	}
+	payload, err := conn.ReceiveData(relay.Progress)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: receiving measurements: %w", err)
+	}
+
+	// Model the cellular transfer cost, then upload.
+	if _, err := relay.Uplink.TransferContext(ctx, len(payload)); err != nil {
+		return "", fmt.Errorf("devicelink: uplink: %w", err)
+	}
+	sub, err := relay.Client.SubmitCompressed(ctx, payload)
+	if err != nil {
+		// Tell the device the transfer failed rather than leaving it
+		// blocked on a report that will never come.
+		_ = accessory.WriteFrame(rw, accessory.Frame{
+			Type:    accessory.FrameError,
+			Payload: []byte(err.Error()),
+		})
+		return "", err
+	}
+	if relay.Progress != nil {
+		relay.Progress(fmt.Sprintf("analysis %s complete: %d peaks", sub.ID, sub.Report.PeakCount))
+	}
+
+	reportJSON, err := json.Marshal(sub.Report)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: encoding report: %w", err)
+	}
+	if _, err := conn.SendData(reportJSON); err != nil {
+		return "", fmt.Errorf("devicelink: returning report: %w", err)
+	}
+	return sub.ID, nil
+}
+
+// DeviceSendReliable is DeviceSend over the ARQ channel: measurement chunks
+// and the returned report are sequence-numbered, CRC-NACK-retransmitted and
+// resynchronized, so a noisy cable costs retransmissions instead of a failed
+// test. The transport must be buffered (see accessory's reliable-channel
+// notes).
+func DeviceSendReliable(rw io.ReadWriter, acq lockin.Acquisition, progress func(string)) (cloud.Report, error) {
+	conn, err := accessory.Handshake(rw, accessory.DefaultIdentity())
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: handshake: %w", err)
+	}
+	if progress != nil {
+		progress("compressing measurements")
+	}
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		return cloud.Report{}, err
+	}
+	_, retrans, err := conn.SendDataReliable(payload, 0)
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: sending measurements: %w", err)
+	}
+	if progress != nil && retrans > 0 {
+		progress(fmt.Sprintf("link noise: %d chunks retransmitted", retrans))
+	}
+	reportJSON, _, err := conn.ReceiveDataReliable(progress)
+	if err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: receiving report: %w", err)
+	}
+	var report cloud.Report
+	if err := json.Unmarshal(reportJSON, &report); err != nil {
+		return cloud.Report{}, fmt.Errorf("devicelink: decoding report: %w", err)
+	}
+	return report, nil
+}
+
+// PhoneServeReliable is PhoneServe over the ARQ channel.
+func PhoneServeReliable(ctx context.Context, rw io.ReadWriter, relay *phone.Relay) (string, error) {
+	if relay == nil || relay.Client == nil {
+		return "", errors.New("devicelink: phone relay not configured")
+	}
+	phoneID := accessory.Identity{Manufacturer: "Google", Model: "Nexus 5", Version: "Android 4.4"}
+	conn, err := accessory.Handshake(rw, phoneID)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: handshake: %w", err)
+	}
+	payload, _, err := conn.ReceiveDataReliable(relay.Progress)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: receiving measurements: %w", err)
+	}
+	if _, err := relay.Uplink.TransferContext(ctx, len(payload)); err != nil {
+		return "", fmt.Errorf("devicelink: uplink: %w", err)
+	}
+	sub, err := relay.Client.SubmitCompressed(ctx, payload)
+	if err != nil {
+		_ = accessory.WriteFrame(rw, accessory.Frame{
+			Type:    accessory.FrameError,
+			Payload: []byte(err.Error()),
+		})
+		return "", err
+	}
+	reportJSON, err := json.Marshal(sub.Report)
+	if err != nil {
+		return "", fmt.Errorf("devicelink: encoding report: %w", err)
+	}
+	if _, _, err := conn.SendDataReliable(reportJSON, 0); err != nil {
+		return "", fmt.Errorf("devicelink: returning report: %w", err)
+	}
+	return sub.ID, nil
+}

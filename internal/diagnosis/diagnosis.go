@@ -1,0 +1,157 @@
+// Package diagnosis turns decrypted cell counts into clinical decisions "by
+// a simple threshold comparison" (§II). The running example throughout the
+// paper is CD4+ T-lymphocyte counting for HIV staging: "the white blood CD-4
+// cell count is the strongest predictor of human immunodeficiency virus
+// (HIV) progression in lab tests nowadays" (§III-B).
+package diagnosis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Severity orders outcomes from benign to critical.
+type Severity int
+
+// Severity levels.
+const (
+	SeverityNormal Severity = iota + 1
+	SeverityWatch
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityNormal:
+		return "normal"
+	case SeverityWatch:
+		return "watch"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Band is one diagnostic range: concentrations at or above Threshold (and
+// below the next band's threshold) map to this outcome.
+type Band struct {
+	// Threshold is the lower bound in cells/µL (inclusive).
+	Threshold float64
+	// Label is the clinical reading for the band.
+	Label string
+	// Severity grades the outcome.
+	Severity Severity
+}
+
+// Panel is a named diagnostic rule: an ordered set of concentration bands.
+type Panel struct {
+	// Name identifies the test (e.g. "CD4 count").
+	Name string
+	// Unit describes the measured quantity.
+	Unit string
+	// Bands must be sorted by ascending Threshold, with the first at 0.
+	Bands []Band
+}
+
+// CD4Panel returns the standard CD4+ staging thresholds used in HIV care:
+// < 200 cells/µL marks AIDS-defining immunosuppression, 200–500 impaired,
+// ≥ 500 normal.
+func CD4Panel() Panel {
+	return Panel{
+		Name: "CD4 count",
+		Unit: "cells/µL",
+		Bands: []Band{
+			{Threshold: 0, Label: "severe immunosuppression (AIDS-defining)", Severity: SeverityCritical},
+			{Threshold: 200, Label: "impaired immune function", Severity: SeverityWatch},
+			{Threshold: 500, Label: "normal immune function", Severity: SeverityNormal},
+		},
+	}
+}
+
+// PlateletPanel returns thrombocytopenia staging thresholds (in 1000/µL),
+// a second common cytometry panel.
+func PlateletPanel() Panel {
+	return Panel{
+		Name: "platelet count",
+		Unit: "10³/µL",
+		Bands: []Band{
+			{Threshold: 0, Label: "severe thrombocytopenia", Severity: SeverityCritical},
+			{Threshold: 50, Label: "moderate thrombocytopenia", Severity: SeverityWatch},
+			{Threshold: 150, Label: "normal platelet count", Severity: SeverityNormal},
+		},
+	}
+}
+
+// Validate checks panel consistency.
+func (p Panel) Validate() error {
+	if p.Name == "" {
+		return errors.New("diagnosis: unnamed panel")
+	}
+	if len(p.Bands) == 0 {
+		return fmt.Errorf("diagnosis: panel %q has no bands", p.Name)
+	}
+	if p.Bands[0].Threshold != 0 {
+		return fmt.Errorf("diagnosis: panel %q first band starts at %v, want 0",
+			p.Name, p.Bands[0].Threshold)
+	}
+	if !sort.SliceIsSorted(p.Bands, func(i, j int) bool {
+		return p.Bands[i].Threshold < p.Bands[j].Threshold
+	}) {
+		return fmt.Errorf("diagnosis: panel %q bands not sorted", p.Name)
+	}
+	for i := 1; i < len(p.Bands); i++ {
+		if p.Bands[i].Threshold == p.Bands[i-1].Threshold {
+			return fmt.Errorf("diagnosis: panel %q duplicate threshold %v",
+				p.Name, p.Bands[i].Threshold)
+		}
+	}
+	return nil
+}
+
+// Result is one diagnostic outcome.
+type Result struct {
+	// Panel is the test name.
+	Panel string
+	// ConcentrationPerUl is the measured analyte concentration.
+	ConcentrationPerUl float64
+	// Label is the clinical reading.
+	Label string
+	// Severity grades the outcome.
+	Severity Severity
+}
+
+// Diagnose maps a measured concentration to the panel's outcome band.
+func (p Panel) Diagnose(concentrationPerUl float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if concentrationPerUl < 0 {
+		return Result{}, fmt.Errorf("diagnosis: negative concentration %v", concentrationPerUl)
+	}
+	band := p.Bands[0]
+	for _, b := range p.Bands[1:] {
+		if concentrationPerUl >= b.Threshold {
+			band = b
+		}
+	}
+	return Result{
+		Panel:              p.Name,
+		ConcentrationPerUl: concentrationPerUl,
+		Label:              band.Label,
+		Severity:           band.Severity,
+	}, nil
+}
+
+// ConcentrationFromCount converts a decrypted cell count into cells/µL given
+// the sampled volume (pump flow × acquisition time).
+func ConcentrationFromCount(count int, sampledVolumeUl float64) (float64, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("diagnosis: negative count %d", count)
+	}
+	if sampledVolumeUl <= 0 {
+		return 0, fmt.Errorf("diagnosis: non-positive sampled volume %v", sampledVolumeUl)
+	}
+	return float64(count) / sampledVolumeUl, nil
+}

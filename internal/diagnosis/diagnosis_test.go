@@ -1,0 +1,100 @@
+package diagnosis
+
+import "testing"
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{
+		SeverityNormal:   "normal",
+		SeverityWatch:    "watch",
+		SeverityCritical: "critical",
+		Severity(9):      "severity(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCD4PanelStaging(t *testing.T) {
+	p := CD4Panel()
+	cases := []struct {
+		conc float64
+		want Severity
+	}{
+		{0, SeverityCritical},
+		{150, SeverityCritical},
+		{199.9, SeverityCritical},
+		{200, SeverityWatch},
+		{350, SeverityWatch},
+		{499.9, SeverityWatch},
+		{500, SeverityNormal},
+		{1200, SeverityNormal},
+	}
+	for _, tc := range cases {
+		res, err := p.Diagnose(tc.conc)
+		if err != nil {
+			t.Fatalf("Diagnose(%v): %v", tc.conc, err)
+		}
+		if res.Severity != tc.want {
+			t.Errorf("Diagnose(%v) = %v, want %v", tc.conc, res.Severity, tc.want)
+		}
+		if res.Panel != "CD4 count" || res.Label == "" {
+			t.Errorf("Diagnose(%v) result incomplete: %+v", tc.conc, res)
+		}
+	}
+}
+
+func TestPlateletPanel(t *testing.T) {
+	p := PlateletPanel()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("platelet panel invalid: %v", err)
+	}
+	res, err := p.Diagnose(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Severity != SeverityCritical {
+		t.Fatalf("40k platelets = %v, want critical", res.Severity)
+	}
+}
+
+func TestDiagnoseRejectsNegative(t *testing.T) {
+	if _, err := CD4Panel().Diagnose(-1); err == nil {
+		t.Fatal("expected error for negative concentration")
+	}
+}
+
+func TestPanelValidate(t *testing.T) {
+	cases := []Panel{
+		{},
+		{Name: "x"},
+		{Name: "x", Bands: []Band{{Threshold: 5}}},
+		{Name: "x", Bands: []Band{{Threshold: 0}, {Threshold: 10}, {Threshold: 5}}},
+		{Name: "x", Bands: []Band{{Threshold: 0}, {Threshold: 0}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := CD4Panel().Validate(); err != nil {
+		t.Fatalf("CD4 panel invalid: %v", err)
+	}
+}
+
+func TestConcentrationFromCount(t *testing.T) {
+	got, err := ConcentrationFromCount(480, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 600 {
+		t.Fatalf("concentration = %v, want 600", got)
+	}
+	if _, err := ConcentrationFromCount(-1, 1); err == nil {
+		t.Error("expected error for negative count")
+	}
+	if _, err := ConcentrationFromCount(10, 0); err == nil {
+		t.Error("expected error for zero volume")
+	}
+}

@@ -1,0 +1,148 @@
+package diagnosis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"medsen/internal/sigproc"
+)
+
+// Trend tracking for recurring tests. The paper's motivating users are
+// "elderly patients with regular diagnostic/testing prescriptions" running
+// "daily medical tests" (§VI-B); a single threshold comparison per test
+// wastes the longitudinal signal, so History accumulates results per patient
+// and projects when a declining measure will cross the next band boundary.
+
+// Observation is one dated measurement.
+type Observation struct {
+	// Time is when the sample was taken.
+	Time time.Time
+	// ConcentrationPerUl is the recovered analyte concentration.
+	ConcentrationPerUl float64
+}
+
+// History is a patient's measurement series for one panel.
+type History struct {
+	panel Panel
+	obs   []Observation
+}
+
+// NewHistory builds an empty history over a validated panel.
+func NewHistory(panel Panel) (*History, error) {
+	if err := panel.Validate(); err != nil {
+		return nil, err
+	}
+	return &History{panel: panel}, nil
+}
+
+// Add records an observation (kept sorted by time).
+func (h *History) Add(o Observation) error {
+	if o.Time.IsZero() {
+		return errors.New("diagnosis: observation without a timestamp")
+	}
+	if o.ConcentrationPerUl < 0 {
+		return fmt.Errorf("diagnosis: negative concentration %v", o.ConcentrationPerUl)
+	}
+	h.obs = append(h.obs, o)
+	sort.Slice(h.obs, func(i, j int) bool { return h.obs[i].Time.Before(h.obs[j].Time) })
+	return nil
+}
+
+// Len returns the number of recorded observations.
+func (h *History) Len() int { return len(h.obs) }
+
+// Latest returns the most recent observation.
+func (h *History) Latest() (Observation, error) {
+	if len(h.obs) == 0 {
+		return Observation{}, errors.New("diagnosis: empty history")
+	}
+	return h.obs[len(h.obs)-1], nil
+}
+
+// SlopePerDay returns the least-squares trend of the concentration in
+// units/day. At least two observations at distinct times are required.
+func (h *History) SlopePerDay() (float64, error) {
+	if len(h.obs) < 2 {
+		return 0, errors.New("diagnosis: need at least two observations for a trend")
+	}
+	t0 := h.obs[0].Time
+	xs := make([]float64, len(h.obs))
+	ys := make([]float64, len(h.obs))
+	for i, o := range h.obs {
+		xs[i] = o.Time.Sub(t0).Hours() / 24
+		ys[i] = o.ConcentrationPerUl
+	}
+	coeffs, err := sigproc.PolyFit(xs, ys, 1)
+	if err != nil {
+		return 0, fmt.Errorf("diagnosis: fitting trend: %w", err)
+	}
+	return coeffs[1], nil
+}
+
+// Projection describes where the trend is heading.
+type Projection struct {
+	// Current is the latest band result.
+	Current Result
+	// SlopePerDay is the fitted concentration change per day.
+	SlopePerDay float64
+	// CrossingBand is the band the trend will enter next (empty label if
+	// stable or improving past the panel's ends).
+	CrossingBand Band
+	// DaysToCrossing estimates when the boundary is reached (0 when no
+	// crossing is projected).
+	DaysToCrossing float64
+	// Deteriorating reports whether the projected band is more severe
+	// than the current one.
+	Deteriorating bool
+}
+
+// Project evaluates the current band and extrapolates the linear trend to
+// the next band boundary in the direction of travel.
+func (h *History) Project() (Projection, error) {
+	latest, err := h.Latest()
+	if err != nil {
+		return Projection{}, err
+	}
+	current, err := h.panel.Diagnose(latest.ConcentrationPerUl)
+	if err != nil {
+		return Projection{}, err
+	}
+	slope, err := h.SlopePerDay()
+	if err != nil {
+		return Projection{}, err
+	}
+	proj := Projection{Current: current, SlopePerDay: slope}
+	if slope == 0 {
+		return proj, nil
+	}
+
+	// Locate the boundary in the direction of travel.
+	conc := latest.ConcentrationPerUl
+	if slope < 0 {
+		// Falling: the next boundary downward is the lower edge of the
+		// occupied band — the highest positive threshold ≤ conc.
+		// Crossing it enters the band below.
+		for i := len(h.panel.Bands) - 1; i >= 1; i-- {
+			b := h.panel.Bands[i]
+			if b.Threshold > 0 && b.Threshold <= conc {
+				proj.CrossingBand = h.panel.Bands[i-1]
+				proj.DaysToCrossing = (conc - b.Threshold) / -slope
+				proj.Deteriorating = h.panel.Bands[i-1].Severity > current.Severity
+				return proj, nil
+			}
+		}
+		return proj, nil // already in the lowest band
+	}
+	// Rising: find the lowest band threshold strictly above conc.
+	for _, b := range h.panel.Bands {
+		if b.Threshold > conc {
+			proj.CrossingBand = b
+			proj.DaysToCrossing = (b.Threshold - conc) / slope
+			proj.Deteriorating = b.Severity > current.Severity
+			return proj, nil
+		}
+	}
+	return proj, nil
+}

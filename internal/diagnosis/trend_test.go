@@ -1,0 +1,165 @@
+package diagnosis
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func day(n int) time.Time {
+	return time.Date(2016, 6, 1, 9, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func historyWith(t *testing.T, concs ...float64) *History {
+	t.Helper()
+	h, err := NewHistory(CD4Panel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range concs {
+		if err := h.Add(Observation{Time: day(i), ConcentrationPerUl: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestNewHistoryRejectsBadPanel(t *testing.T) {
+	if _, err := NewHistory(Panel{}); err == nil {
+		t.Fatal("expected error for invalid panel")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	h := historyWith(t)
+	if err := h.Add(Observation{ConcentrationPerUl: 100}); err == nil {
+		t.Error("expected error for zero time")
+	}
+	if err := h.Add(Observation{Time: day(0), ConcentrationPerUl: -1}); err == nil {
+		t.Error("expected error for negative concentration")
+	}
+}
+
+func TestAddKeepsSorted(t *testing.T) {
+	h := historyWith(t)
+	for _, n := range []int{3, 1, 2, 0} {
+		if err := h.Add(Observation{Time: day(n), ConcentrationPerUl: float64(100 + n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := h.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.ConcentrationPerUl != 103 {
+		t.Fatalf("latest = %+v, want day 3", latest)
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	h := historyWith(t)
+	if _, err := h.Latest(); err == nil {
+		t.Fatal("expected error on empty history")
+	}
+	if h.Len() != 0 {
+		t.Fatal("empty history has nonzero length")
+	}
+}
+
+func TestSlopeRecovery(t *testing.T) {
+	// 600 → 530 over 7 days: slope −10/day.
+	concs := make([]float64, 8)
+	for i := range concs {
+		concs[i] = 600 - 10*float64(i)
+	}
+	h := historyWith(t, concs...)
+	slope, err := h.SlopePerDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+10) > 1e-9 {
+		t.Fatalf("slope = %v, want -10", slope)
+	}
+}
+
+func TestSlopeNeedsTwoPoints(t *testing.T) {
+	h := historyWith(t, 500)
+	if _, err := h.SlopePerDay(); err == nil {
+		t.Fatal("expected error with one observation")
+	}
+}
+
+func TestProjectDecliningCrossesBoundary(t *testing.T) {
+	// 560 falling 10/day: crosses 500 (into the watch band) in 6 days.
+	h := historyWith(t, 600, 590, 580, 570, 560)
+	proj, err := h.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Current.Severity != SeverityNormal {
+		t.Fatalf("current severity %v", proj.Current.Severity)
+	}
+	if !proj.Deteriorating {
+		t.Fatal("decline toward a worse band should flag deterioration")
+	}
+	if proj.CrossingBand.Severity != SeverityWatch {
+		t.Fatalf("crossing band %+v, want watch", proj.CrossingBand)
+	}
+	if math.Abs(proj.DaysToCrossing-6) > 0.5 {
+		t.Fatalf("days to crossing %v, want ~6", proj.DaysToCrossing)
+	}
+}
+
+func TestProjectImprovingCrossesUpward(t *testing.T) {
+	// 460 rising 10/day: reaches 500 (normal band) in 4 days.
+	h := historyWith(t, 420, 430, 440, 450, 460)
+	proj, err := h.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Deteriorating {
+		t.Fatal("improvement flagged as deterioration")
+	}
+	if proj.CrossingBand.Severity != SeverityNormal {
+		t.Fatalf("crossing band %+v, want normal", proj.CrossingBand)
+	}
+	if math.Abs(proj.DaysToCrossing-4) > 0.5 {
+		t.Fatalf("days to crossing %v, want ~4", proj.DaysToCrossing)
+	}
+}
+
+func TestProjectLowestBandFalling(t *testing.T) {
+	h := historyWith(t, 150, 140, 130)
+	proj, err := h.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.CrossingBand.Label != "" {
+		t.Fatalf("no further boundary below the critical band: %+v", proj)
+	}
+	if proj.Current.Severity != SeverityCritical {
+		t.Fatalf("current severity %v", proj.Current.Severity)
+	}
+}
+
+func TestProjectTopBandRising(t *testing.T) {
+	h := historyWith(t, 800, 850, 900)
+	proj, err := h.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.CrossingBand.Label != "" {
+		t.Fatalf("no boundary above the normal band: %+v", proj)
+	}
+}
+
+func TestProjectStableSeries(t *testing.T) {
+	h := historyWith(t, 600, 600, 600)
+	proj, err := h.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.SlopePerDay != 0 || proj.CrossingBand.Label != "" {
+		t.Fatalf("stable series projected a crossing: %+v", proj)
+	}
+}

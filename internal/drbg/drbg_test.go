@@ -1,0 +1,311 @@
+package drbg
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New([]byte("seed-material"), "personal")
+	b := New([]byte("seed-material"), "personal")
+	bufA := make([]byte, 512)
+	bufB := make([]byte, 512)
+	if err := a.Generate(bufA); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := b.Generate(bufB); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("same seed and personalization must produce identical streams")
+	}
+}
+
+func TestPersonalizationSeparatesStreams(t *testing.T) {
+	a := New([]byte("seed"), "alpha")
+	b := New([]byte("seed"), "beta")
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	if err := a.Generate(bufA); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := b.Generate(bufB); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if bytes.Equal(bufA, bufB) {
+		t.Fatal("different personalization strings must separate streams")
+	}
+}
+
+func TestSeedSeparatesStreams(t *testing.T) {
+	a := NewFromSeed(1)
+	b := NewFromSeed(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds should (overwhelmingly) differ in first draw")
+	}
+}
+
+func TestReseedChangesStream(t *testing.T) {
+	a := NewFromSeed(7)
+	b := NewFromSeed(7)
+	b.Reseed([]byte("fresh entropy"))
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("reseed must alter the output stream")
+	}
+}
+
+func TestGenerateRejectsOversizedRequest(t *testing.T) {
+	d := NewFromSeed(1)
+	if err := d.Generate(make([]byte, maxRequestBytes+1)); err == nil {
+		t.Fatal("expected error for oversized request")
+	}
+}
+
+func TestReadHandlesOversizedRequests(t *testing.T) {
+	d := NewFromSeed(1)
+	buf := make([]byte, maxRequestBytes*2+100)
+	n, err := d.Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("Read returned %d, want %d", n, len(buf))
+	}
+	// The tail must not be all zeros (probability ~0 for a working DRBG).
+	allZero := true
+	for _, v := range buf[len(buf)-32:] {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("tail of oversized read was never filled")
+	}
+}
+
+func TestReadImplementsIOReader(t *testing.T) {
+	var r io.Reader = NewFromSeed(3)
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+}
+
+func TestNewFromEntropy(t *testing.T) {
+	a, err := NewFromEntropy()
+	if err != nil {
+		t.Fatalf("NewFromEntropy: %v", err)
+	}
+	b, err := NewFromEntropy()
+	if err != nil {
+		t.Fatalf("NewFromEntropy: %v", err)
+	}
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("two entropy-seeded generators should not collide on first draw")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	d := NewFromSeed(11)
+	for _, n := range []int{1, 2, 3, 7, 16, 1000} {
+		for i := 0; i < 200; i++ {
+			v := d.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewFromSeed(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	d := NewFromSeed(13)
+	for i := 0; i < 10000; i++ {
+		v := d.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	d := NewFromSeed(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	d := NewFromSeed(19)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	d := NewFromSeed(23)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := d.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	d := NewFromSeed(29)
+	for _, n := range []int{0, 1, 5, 64} {
+		p := d.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	d := NewFromSeed(31)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	seen := map[int]bool{}
+	d.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	d := NewFromSeed(37)
+	for _, mean := range []float64{0.5, 3, 20, 150} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(d.Poisson(mean))
+		}
+		got := sum / n
+		tolerance := 4 * math.Sqrt(mean/float64(n)) * 2 // generous CLT bound
+		if math.Abs(got-mean) > tolerance+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	d := NewFromSeed(41)
+	if got := d.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := d.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := NewFromSeed(43)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = d.Uint64()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	d := NewFromSeed(47)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := d.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterministicStreams(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := NewFromSeed(seed)
+		b := NewFromSeed(seed)
+		for i := 0; i < 4; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	d := NewFromSeed(53)
+	buf := make([]byte, 1<<15)
+	if _, err := d.Read(buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	ones := 0
+	for _, b := range buf {
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				ones++
+			}
+		}
+	}
+	total := len(buf) * 8
+	ratio := float64(ones) / float64(total)
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("bit balance %v, want ~0.5", ratio)
+	}
+}

@@ -1,0 +1,728 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"medsen/internal/beads"
+	"medsen/internal/cipher"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+	"medsen/internal/sigproc"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. Each runs the
+// system with one cipher or pipeline component altered and measures the
+// security or fidelity consequence.
+
+// standardCiphertext acquires an encrypted capture of blood under the given
+// cipher parameters and returns the analyst-visible peaks plus the true
+// particle count. A fixed electrode mask isolates the gain/speed components
+// under test (the attacker's task of §IV-A is to recover the fixed
+// multiplication factor).
+func standardCiphertext(o Options, label string, mutate func(*cipher.Params), fixedOutputs []int) ([]sigproc.Peak, int, error) {
+	durationS := 240.0
+	if o.Quick {
+		durationS = 90
+	}
+	s := quietSensor(false)
+	rng := o.rng("ablation-" + label)
+	p := defaultCipherParams(s)
+	p.GainMin, p.GainMax = 0.9, 1.8
+	p.MinActive = 2
+	if mutate != nil {
+		mutate(&p)
+	}
+	sched, err := cipher.Generate(p, durationS, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	if fixedOutputs != nil {
+		mask := maskFor(p.NumElectrodes, fixedOutputs...)
+		for i := range sched.Epochs {
+			sched.Epochs[i].Active = append([]bool(nil), mask...)
+		}
+	}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 150,
+	})
+	acqRes, err := s.Acquire(sensor.AcquireConfig{
+		Sample: sample, DurationS: durationS, Schedule: sched,
+	}, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+	if err != nil {
+		return nil, 0, err
+	}
+	return peaks, len(acqRes.Transits), nil
+}
+
+// ablationMask is the fixed electrode selection used by the component
+// ablations: the lead plus two flanked outputs (factor 5, as in Fig. 8).
+var ablationMask = []int{0, 2, 5}
+
+// GainAblationResult measures the §IV-A equal-amplitude-run attack with and
+// without gain randomization.
+type GainAblationResult struct {
+	// ErrWithGains is the attacker's relative count error against the
+	// full cipher.
+	ErrWithGains float64
+	// ErrWithoutGains is the error when all electrode gains are pinned
+	// to 1 (the G component disabled).
+	ErrWithoutGains float64
+}
+
+// GainRandomizationAblation runs the study.
+func GainRandomizationAblation(o Options) (GainAblationResult, error) {
+	const tolerance = 0.05
+	withPeaks, truthWith, err := standardCiphertext(o, "gains-on", nil, ablationMask)
+	if err != nil {
+		return GainAblationResult{}, err
+	}
+	withoutPeaks, truthWithout, err := standardCiphertext(o, "gains-off", func(p *cipher.Params) {
+		p.GainMin, p.GainMax = 1.0, 1.0001 // quantized to ≈ unity
+	}, ablationMask)
+	if err != nil {
+		return GainAblationResult{}, err
+	}
+	return GainAblationResult{
+		ErrWithGains:    cipher.EqualAmplitudeRunAttack(withPeaks, tolerance).RelativeError(truthWith),
+		ErrWithoutGains: cipher.EqualAmplitudeRunAttack(withoutPeaks, tolerance).RelativeError(truthWithout),
+	}, nil
+}
+
+// SpeedAblationResult measures how flow-speed randomization conceals the
+// particle-type information carried by peak widths (§IV-A: "a modification
+// of the flow speed on the channel would result in peaks of arbitrary widths
+// for cells of identical type").
+type SpeedAblationResult struct {
+	// WidthCVWithSpeed is the coefficient of variation of observed peak
+	// widths for a single-type sample under the full cipher: high,
+	// because the keyed flow speed stretches widths arbitrarily.
+	WidthCVWithSpeed float64
+	// WidthCVWithoutSpeed is the same with the S component pinned: low,
+	// so widths fingerprint the cell type.
+	WidthCVWithoutSpeed float64
+}
+
+// SpeedRandomizationAblation runs the study. Gains are disabled in both arms
+// so width is the only channel under test.
+func SpeedRandomizationAblation(o Options) (SpeedAblationResult, error) {
+	noGains := func(p *cipher.Params) { p.GainMin, p.GainMax = 1.0, 1.0001 }
+	withPeaks, _, err := standardCiphertext(o, "speed-on", noGains, ablationMask)
+	if err != nil {
+		return SpeedAblationResult{}, err
+	}
+	withoutPeaks, _, err := standardCiphertext(o, "speed-off", func(p *cipher.Params) {
+		noGains(p)
+		p.SpeedMin, p.SpeedMax = 1.0, 1.0001
+	}, ablationMask)
+	if err != nil {
+		return SpeedAblationResult{}, err
+	}
+	return SpeedAblationResult{
+		WidthCVWithSpeed:    widthCV(withPeaks),
+		WidthCVWithoutSpeed: widthCV(withoutPeaks),
+	}, nil
+}
+
+// widthCV computes the coefficient of variation of peak widths.
+func widthCV(peaks []sigproc.Peak) float64 {
+	widths := make([]float64, 0, len(peaks))
+	for _, p := range peaks {
+		widths = append(widths, p.Width)
+	}
+	m := sigproc.Mean(widths)
+	if m == 0 {
+		return 0
+	}
+	return sigproc.StdDev(widths) / m
+}
+
+// EpochAblationRow is one epoch-length setting.
+type EpochAblationRow struct {
+	EpochS float64
+	// ScheduleKB is the key-schedule size for a 10-minute acquisition.
+	ScheduleKB float64
+	// CountErr is the decryption count error at this epoch length.
+	CountErr float64
+}
+
+// EpochAblationResult studies the §IV-A practical-scheme trade-off: shorter
+// epochs approach per-cell one-time-pad keying (larger keys); longer epochs
+// shrink keys but change keys less often.
+type EpochAblationResult struct {
+	Rows []EpochAblationRow
+}
+
+// EpochLengthAblation runs the sweep.
+func EpochLengthAblation(o Options) (EpochAblationResult, error) {
+	epochs := []float64{0.5, 1, 2, 5}
+	if o.Quick {
+		epochs = []float64{1, 5}
+	}
+	durationS := 180.0
+	if o.Quick {
+		durationS = 90
+	}
+	var res EpochAblationResult
+	for _, e := range epochs {
+		s := quietSensor(false)
+		rng := o.rng(fmt.Sprintf("epoch-%v", e))
+		p := defaultCipherParams(s)
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 2
+		p.EpochS = e
+		sched, err := cipher.Generate(p, durationS, rng)
+		if err != nil {
+			return EpochAblationResult{}, err
+		}
+		sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+			microfluidic.TypeBloodCell: 150,
+		})
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, Schedule: sched,
+		}, rng)
+		if err != nil {
+			return EpochAblationResult{}, err
+		}
+		peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return EpochAblationResult{}, err
+		}
+		dec, err := sched.Decrypt(peaks, s.Array)
+		if err != nil {
+			return EpochAblationResult{}, err
+		}
+		truth := len(acqRes.Transits)
+		countErr := 0.0
+		if truth > 0 {
+			countErr = math.Abs(float64(dec.Count-truth)) / float64(truth)
+		}
+		// Scale the schedule to a 10-minute acquisition for the size
+		// column.
+		perEpochBits := sched.ScheduleBits() / len(sched.Epochs)
+		epochsIn10Min := int(math.Ceil(600 / e))
+		res.Rows = append(res.Rows, EpochAblationRow{
+			EpochS:     e,
+			ScheduleKB: float64(perEpochBits*epochsIn10Min) / 8 / 1e3,
+			CountErr:   countErr,
+		})
+	}
+	return res, nil
+}
+
+// AdjacencyAblationResult studies the §VII-A hardening: keys that avoid
+// consecutive electrodes produce better-separated ciphertext peaks.
+type AdjacencyAblationResult struct {
+	// DetectionRatioFree is detected/expected ciphertext peaks with
+	// unconstrained keys.
+	DetectionRatioFree float64
+	// DetectionRatioNonAdjacent is the same with AvoidAdjacent keys.
+	DetectionRatioNonAdjacent float64
+}
+
+// AdjacencyAblation runs the study.
+func AdjacencyAblation(o Options) (AdjacencyAblationResult, error) {
+	run := func(avoid bool, label string) (float64, error) {
+		durationS := 240.0
+		if o.Quick {
+			durationS = 90
+		}
+		s := quietSensor(false)
+		rng := o.rng("adjacency-" + label)
+		p := defaultCipherParams(s)
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 3
+		p.AvoidAdjacent = avoid
+		sched, err := cipher.Generate(p, durationS, rng)
+		if err != nil {
+			return 0, err
+		}
+		sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+			microfluidic.TypeBead780: 120, // big beads stress peak separation most
+		})
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, Schedule: sched,
+		}, rng)
+		if err != nil {
+			return 0, err
+		}
+		peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return 0, err
+		}
+		expected := 0
+		crossings := s.Array.Crossings(nil)
+		for _, tr := range acqRes.Transits {
+			v := tr.VelocityUmS * sched.SpeedAt(tr.EntryS)
+			for _, c := range crossings {
+				if sched.KeyAt(tr.EntryS + c.OffsetUm/v).Active[c.Electrode] {
+					expected++
+				}
+			}
+		}
+		if expected == 0 {
+			return 0, fmt.Errorf("adjacency ablation: no expected peaks")
+		}
+		return float64(len(peaks)) / float64(expected), nil
+	}
+	free, err := run(false, "free")
+	if err != nil {
+		return AdjacencyAblationResult{}, err
+	}
+	nonAdj, err := run(true, "nonadjacent")
+	if err != nil {
+		return AdjacencyAblationResult{}, err
+	}
+	return AdjacencyAblationResult{
+		DetectionRatioFree:        free,
+		DetectionRatioNonAdjacent: nonAdj,
+	}, nil
+}
+
+// DetrendAblationRow is one (degree, window) pipeline setting.
+type DetrendAblationRow struct {
+	Degree int
+	Window int
+	// F1 is the peak-recovery F1 score against injected ground truth.
+	F1 float64
+}
+
+// DetrendAblationResult studies the §VI-C fitting discussion: order-2 over
+// moderate windows wins; order-0/1 under-fits drift, high orders over-fit
+// and deform peaks.
+type DetrendAblationResult struct {
+	Rows []DetrendAblationRow
+}
+
+// DetrendAblation runs the sweep on a synthetic drifting capture with known
+// peak positions.
+func DetrendAblation(o Options) (DetrendAblationResult, error) {
+	n := 120000
+	if o.Quick {
+		n = 40000
+	}
+	rng := o.rng("detrend")
+	// Strong curved drift plus slow wave: hard for low orders.
+	samples := make([]float64, n)
+	for i := range samples {
+		x := float64(i) / float64(n)
+		samples[i] = 1.4 - 0.25*x + 0.18*x*x + 0.01*math.Sin(6*math.Pi*x) + 0.00025*rng.NormFloat64()
+	}
+	var truth []int
+	spacing := 1300
+	for c := spacing; c < n-5; c += spacing {
+		truth = append(truth, c)
+		for off := -3; off <= 3; off++ {
+			frac := 1 - math.Abs(float64(off))/4
+			samples[c+off] -= 0.008 * frac * samples[c+off]
+		}
+	}
+	tr := sigproc.Trace{Rate: 450, Samples: samples}
+
+	var res DetrendAblationResult
+	for _, degree := range []int{0, 1, 2, 3, 4} {
+		for _, window := range []int{2250, 4500, 9000} {
+			flat, err := sigproc.Detrend(tr, sigproc.DetrendConfig{
+				Degree: degree, Window: window, Overlap: window / 10,
+			})
+			if err != nil {
+				return DetrendAblationResult{}, err
+			}
+			peaks := sigproc.DetectPeaks(flat, sigproc.DefaultPeakConfig())
+			res.Rows = append(res.Rows, DetrendAblationRow{
+				Degree: degree,
+				Window: window,
+				F1:     peakF1(peaks, truth, 5),
+			})
+		}
+	}
+	return res, nil
+}
+
+// peakF1 scores detected peaks against ground-truth indexes.
+func peakF1(peaks []sigproc.Peak, truth []int, tolSamples int) float64 {
+	matched := 0
+	used := make([]bool, len(peaks))
+	for _, tIdx := range truth {
+		for i, p := range peaks {
+			if used[i] {
+				continue
+			}
+			d := p.Index - tIdx
+			if d < 0 {
+				d = -d
+			}
+			if d <= tolSamples {
+				used[i] = true
+				matched++
+				break
+			}
+		}
+	}
+	if len(peaks) == 0 || len(truth) == 0 {
+		return 0
+	}
+	precision := float64(matched) / float64(len(peaks))
+	recall := float64(matched) / float64(len(truth))
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// BeadLevelRow is one alphabet sizing.
+type BeadLevelRow struct {
+	Levels int
+	// SpaceSize is the password-space size with two bead types.
+	SpaceSize int
+	// EntropyBits is the password entropy.
+	EntropyBits float64
+	// WorstLevelRisk is the highest per-level mis-classification risk in
+	// a standard 10-minute counting window.
+	WorstLevelRisk float64
+}
+
+// BeadLevelAblationResult studies the §VII-C trade-off between password
+// space size and level distinguishability.
+type BeadLevelAblationResult struct {
+	Rows []BeadLevelRow
+}
+
+// BeadLevelAblation sweeps the number of geometric levels packed into the
+// default alphabet's concentration range.
+func BeadLevelAblation(o Options) (BeadLevelAblationResult, error) {
+	base := beads.DefaultAlphabet()
+	lo := base.LevelsPerUl[0]
+	hi := base.LevelsPerUl[len(base.LevelsPerUl)-1]
+	const windowUl = 0.8 // 10 min at 0.08 µL/min
+
+	var res BeadLevelAblationResult
+	for _, nLevels := range []int{3, 4, 5, 6, 8, 10} {
+		levels := make([]float64, nLevels)
+		for i := range levels {
+			frac := float64(i) / float64(nLevels-1)
+			levels[i] = lo * math.Pow(hi/lo, frac)
+		}
+		a := base
+		a.LevelsPerUl = levels
+		if err := a.Validate(); err != nil {
+			return BeadLevelAblationResult{}, err
+		}
+		worst := 0.0
+		for lv := 1; lv <= nLevels; lv++ {
+			count := levels[lv-1] / a.DilutionFactor() * windowUl
+			risk, err := a.CollisionRisk(lv, count)
+			if err != nil {
+				return BeadLevelAblationResult{}, err
+			}
+			if risk > worst {
+				worst = risk
+			}
+		}
+		res.Rows = append(res.Rows, BeadLevelRow{
+			Levels:         nLevels,
+			SpaceSize:      a.PasswordSpaceSize(),
+			EntropyBits:    a.EntropyBits(),
+			WorstLevelRisk: worst,
+		})
+	}
+	return res, nil
+}
+
+// PrintAblations renders all ablation studies.
+func PrintAblations(w io.Writer, o Options) error {
+	gain, err := GainRandomizationAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation: gain randomization — amplitude-run attack error with gains %.2f, without %.2f\n",
+		gain.ErrWithGains, gain.ErrWithoutGains)
+
+	speed, err := SpeedRandomizationAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation: flow-speed randomization — width CV with speed %.2f, without %.2f\n",
+		speed.WidthCVWithSpeed, speed.WidthCVWithoutSpeed)
+
+	epoch, err := EpochLengthAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: epoch length")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "epoch_s\tschedule KB (10 min)\tcount err")
+	for _, r := range epoch.Rows {
+		fmt.Fprintf(tw, "%.2f\t%.2f\t%.3f\n", r.EpochS, r.ScheduleKB, r.CountErr)
+	}
+	tw.Flush()
+
+	adj, err := AdjacencyAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation: non-adjacent keying — detection ratio free %.3f vs non-adjacent %.3f\n",
+		adj.DetectionRatioFree, adj.DetectionRatioNonAdjacent)
+
+	det, err := DetrendAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: detrend polynomial order / window")
+	tw = newTable(w)
+	fmt.Fprintln(tw, "degree\twindow\tpeak F1")
+	for _, r := range det.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\n", r.Degree, r.Window, r.F1)
+	}
+	tw.Flush()
+
+	scheme, err := SchemeComparison(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation: keying scheme — epoch: err %.3f, %.1f KB keys, %.2f bits analyst entropy; "+
+		"per-cell ideal: err %.3f, %.1f KB keys, %.2f bits\n",
+		scheme.EpochCountErr, float64(scheme.EpochKeyBits)/8/1e3, scheme.EpochEntropyBits,
+		scheme.PerCellCountErr, float64(scheme.PerCellKeyBits)/8/1e3, scheme.PerCellEntropyBits)
+
+	noise, err := NoiseRobustness(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: front-end noise robustness")
+	tw = newTable(w)
+	fmt.Fprintln(tw, "noise sigma\tSNR dB\tdetect ratio\tcount err")
+	for _, r := range noise.Rows {
+		fmt.Fprintf(tw, "%.5f\t%.1f\t%.3f\t%.3f\n", r.NoiseSigma, r.SNRdB, r.DetectRatio, r.CountErr)
+	}
+	tw.Flush()
+
+	lvl, err := BeadLevelAblation(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: bead concentration levels")
+	tw = newTable(w)
+	fmt.Fprintln(tw, "levels\tspace\tentropy bits\tworst level risk")
+	for _, r := range lvl.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.4f\n", r.Levels, r.SpaceSize, r.EntropyBits, r.WorstLevelRisk)
+	}
+	tw.Flush()
+	return nil
+}
+
+// SchemeComparisonResult compares the §IV-A ideal per-cell one-time-pad
+// scheme against the practical epoch scheme MedSen deploys, on identical
+// samples: decryption fidelity and the analyst's remaining aggregate
+// uncertainty.
+type SchemeComparisonResult struct {
+	// EpochCountErr and PerCellCountErr are the relative decryption
+	// errors of the two schemes.
+	EpochCountErr   float64
+	PerCellCountErr float64
+	// EpochKeyBits and PerCellKeyBits are the key-material sizes for
+	// this acquisition.
+	EpochKeyBits   int
+	PerCellKeyBits int
+	// EpochEntropyBits and PerCellEntropyBits are the analyst's
+	// posterior entropies over the true count given the observed
+	// ciphertext peak totals, both under the sum-of-iid-factors model
+	// (at dilute rates each particle crosses under an effectively
+	// independent key in either scheme, so the aggregate posteriors
+	// coincide — the per-cell scheme's real advantage is structural:
+	// run-based factor inference collapses, see the gain ablation).
+	EpochEntropyBits   float64
+	PerCellEntropyBits float64
+}
+
+// SchemeComparison runs both schemes.
+func SchemeComparison(o Options) (SchemeComparisonResult, error) {
+	durationS := 240.0
+	if o.Quick {
+		durationS = 90
+	}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 150,
+	})
+
+	var res SchemeComparisonResult
+
+	// Epoch scheme.
+	{
+		s := quietSensor(false)
+		rng := o.rng("scheme-epoch")
+		p := defaultCipherParams(s)
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 2
+		sched, err := cipher.Generate(p, durationS, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, Schedule: sched,
+		}, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		dec, err := sched.Decrypt(peaks, s.Array)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		truth := len(acqRes.Transits)
+		res.EpochCountErr = relErr(dec.Count, truth)
+		res.EpochKeyBits = sched.ScheduleBits()
+		post, err := cipher.PerCellPosterior(p, s.Array, len(peaks), 4*truth+20, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		res.EpochEntropyBits = post.EntropyBits()
+	}
+
+	// Per-cell scheme.
+	{
+		s := quietSensor(false)
+		rng := o.rng("scheme-percell")
+		p := defaultCipherParams(s)
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 2
+		// Provision keys generously above the expected cell count.
+		expected := int(sample.ConcentrationPerUl[microfluidic.TypeBloodCell] *
+			s.Channel.FlowRateUlMin / 60 * durationS)
+		sched, err := cipher.GeneratePerCell(p, 3*expected+20, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, PerCell: sched,
+		}, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		dec, err := sched.DecryptPerCell(peaks, s.Array)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		truth := len(acqRes.Transits)
+		res.PerCellCountErr = relErr(dec.Count, truth)
+		res.PerCellKeyBits = sched.KeyBits()
+		post, err := cipher.PerCellPosterior(p, s.Array, len(peaks), 4*truth+20, rng)
+		if err != nil {
+			return SchemeComparisonResult{}, err
+		}
+		res.PerCellEntropyBits = post.EntropyBits()
+	}
+	return res, nil
+}
+
+func relErr(got, want int) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}
+
+// NoiseRow is one front-end noise setting.
+type NoiseRow struct {
+	// NoiseSigma is the additive front-end noise level (the default
+	// device runs at 0.00025).
+	NoiseSigma float64
+	// SNRdB is the measured detrended-signal SNR.
+	SNRdB float64
+	// DetectRatio is detected/expected ciphertext peaks.
+	DetectRatio float64
+	// CountErr is the decryption error.
+	CountErr float64
+}
+
+// NoiseRobustnessResult sweeps the acquisition noise floor and records where
+// the §VI-C pipeline starts losing peaks — the device's SNR budget.
+type NoiseRobustnessResult struct {
+	Rows []NoiseRow
+}
+
+// NoiseRobustness runs the sweep.
+func NoiseRobustness(o Options) (NoiseRobustnessResult, error) {
+	durationS := 240.0
+	if o.Quick {
+		durationS = 90
+	}
+	levels := []float64{0.0001, 0.00025, 0.0005, 0.001}
+	if o.Quick {
+		levels = []float64{0.0001, 0.0005}
+	}
+	var res NoiseRobustnessResult
+	for _, sigma := range levels {
+		s := quietSensor(false)
+		s.Lockin.NoiseSigma = sigma
+		rng := o.rng(fmt.Sprintf("noise-%v", sigma))
+		p := defaultCipherParams(s)
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 2
+		sched, err := cipher.Generate(p, durationS, rng)
+		if err != nil {
+			return NoiseRobustnessResult{}, err
+		}
+		sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+			microfluidic.TypeBloodCell: 150,
+		})
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, Schedule: sched,
+		}, rng)
+		if err != nil {
+			return NoiseRobustnessResult{}, err
+		}
+		tr, err := acqRes.Acquisition.Channel(analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return NoiseRobustnessResult{}, err
+		}
+		flat, err := sigproc.Detrend(tr, sigproc.DefaultDetrendConfig())
+		if err != nil {
+			return NoiseRobustnessResult{}, err
+		}
+		peaks := sigproc.DetectPeaks(flat, sigproc.DefaultPeakConfig())
+		dec, err := sched.Decrypt(peaks, s.Array)
+		if err != nil {
+			return NoiseRobustnessResult{}, err
+		}
+		expected := 0
+		crossings := s.Array.Crossings(nil)
+		for _, trn := range acqRes.Transits {
+			v := trn.VelocityUmS * sched.SpeedAt(trn.EntryS)
+			for _, c := range crossings {
+				if sched.KeyAt(trn.EntryS + c.OffsetUm/v).Active[c.Electrode] {
+					expected++
+				}
+			}
+		}
+		row := NoiseRow{
+			NoiseSigma: sigma,
+			SNRdB:      sigproc.SNR(flat, peaks),
+			CountErr:   relErr(dec.Count, len(acqRes.Transits)),
+		}
+		if expected > 0 {
+			row.DetectRatio = float64(len(peaks)) / float64(expected)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"medsen/internal/cipher"
+	"medsen/internal/electrode"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+)
+
+// DesignRow characterizes one of the paper's fabricated sensor designs
+// (Fig. 5: 2, 3, 5 and 9 independent outputs along one channel, plus the
+// 16-output design Eq. 2 sizes keys for).
+type DesignRow struct {
+	// Outputs is the number of independent output electrodes.
+	Outputs int
+	// MaxFactor is the largest peak multiplication factor the design can
+	// key (1 + 2·(outputs−1)).
+	MaxFactor int
+	// RegionUm is the sensing-region length — longer regions raise the
+	// coincidence probability at a given particle rate.
+	RegionUm float64
+	// CountErr is the encrypted-capture decryption error on the standard
+	// dilute sample.
+	CountErr float64
+	// FactorEntropyBits is the Shannon entropy of the peak
+	// multiplication factor this design injects per particle — the
+	// per-particle confusion available to the cipher.
+	FactorEntropyBits float64
+	// KeyBitsPerEpoch is the key material consumed per epoch.
+	KeyBitsPerEpoch int
+}
+
+// DesignComparisonResult is the Fig. 5 design-space study: more outputs buy
+// more ciphertext confusion (higher multiplication factors, broader
+// posteriors, more key material) at the cost of a longer sensing region.
+type DesignComparisonResult struct {
+	Rows []DesignRow
+}
+
+// DesignComparison runs an encrypted capture on each fabricated design.
+func DesignComparison(o Options) (DesignComparisonResult, error) {
+	durationS := 240.0
+	if o.Quick {
+		durationS = 90
+	}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 150,
+	})
+
+	var res DesignComparisonResult
+	for _, outputs := range []int{2, 3, 5, 9} {
+		rng := o.rng(fmt.Sprintf("design-%d", outputs))
+		arr, err := electrode.NewArrayWithPitch(outputs, sensor.DefaultPitchUm)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		arr.SensingLengthUm = 32
+		base := sensor.NewDefault()
+		s, err := sensor.New(arr, base.Channel, base.CarriersHz, base.Lockin)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		s.Lockin = base.Lockin
+		s.Lockin.NoiseSigma = 0.00012
+		s.Loss = microfluidic.LossModel{Disabled: true}
+
+		p := s.CipherParams()
+		p.GainMin, p.GainMax = 0.9, 1.8
+		p.MinActive = 1
+		if outputs >= 3 {
+			p.MinActive = 2
+		}
+		sched, err := cipher.Generate(p, durationS, rng)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		acqRes, err := s.Acquire(sensor.AcquireConfig{
+			Sample: sample, DurationS: durationS, Schedule: sched,
+		}, rng)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		peaks, _, err := detectOn(acqRes.Acquisition, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		dec, err := sched.Decrypt(peaks, s.Array)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		truth := len(acqRes.Transits)
+
+		row := DesignRow{
+			Outputs:   outputs,
+			MaxFactor: 1 + 2*(outputs-1),
+			RegionUm:  arr.RegionLengthUm(),
+			CountErr:  relErr(dec.Count, truth),
+			KeyBitsPerEpoch: p.NumElectrodes +
+				p.NumElectrodes*p.GainBits() + p.SpeedBits(),
+		}
+		row.FactorEntropyBits, err = cipher.FactorEntropyBits(p, s.Array, rng)
+		if err != nil {
+			return DesignComparisonResult{}, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintDesignComparison renders the design table.
+func PrintDesignComparison(w io.Writer, r DesignComparisonResult) {
+	fmt.Fprintln(w, "Fig. 5 design space — fabricated output counts under encryption")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "outputs\tmax factor\tregion µm\tcount err\tfactor entropy bits\tkey bits/epoch")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.3f\t%.2f\t%d\n",
+			row.Outputs, row.MaxFactor, row.RegionUm, row.CountErr,
+			row.FactorEntropyBits, row.KeyBitsPerEpoch)
+	}
+	tw.Flush()
+}

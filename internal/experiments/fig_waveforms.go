@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"medsen/internal/classify"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+	"medsen/internal/sigproc"
+)
+
+// Fig07Result reproduces Fig. 7: the voltage drop of a single cell passing
+// one electrode pair.
+type Fig07Result struct {
+	// PeakDepth is the fractional drop below baseline.
+	PeakDepth float64
+	// FullWidthMs is the above-threshold pulse duration (≈ 20 ms in
+	// §VII-A).
+	FullWidthMs float64
+	// Waveform is the normalized trace segment around the drop
+	// (time s → amplitude V), the series the figure plots.
+	Waveform []XY
+}
+
+// XY is one plotted point.
+type XY struct {
+	X float64
+	Y float64
+}
+
+// Fig07SingleCellDrop renders one blood cell crossing the lead electrode
+// pair and extracts the drop geometry.
+func Fig07SingleCellDrop(o Options) (Fig07Result, error) {
+	s := quietSensor(false)
+	tr := singleTransit(microfluidic.TypeBloodCell, 1.0)
+	acq, err := renderSingle(s, tr, maskFor(s.Array.NumOutputs, 0), 2.0, o.rng("fig07"))
+	if err != nil {
+		return Fig07Result{}, err
+	}
+	peaks, flat, err := detectOn(acq, analysisConfig().ReferenceCarrierHz)
+	if err != nil {
+		return Fig07Result{}, err
+	}
+	if len(peaks) != 1 {
+		return Fig07Result{}, fmt.Errorf("fig07: expected 1 peak, got %d", len(peaks))
+	}
+	p := peaks[0]
+	res := Fig07Result{
+		PeakDepth:   p.Amplitude,
+		FullWidthMs: p.Width * 1000,
+	}
+	lo := p.Start - 10
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p.End + 10
+	if hi > len(flat.Samples) {
+		hi = len(flat.Samples)
+	}
+	for i := lo; i < hi; i++ {
+		res.Waveform = append(res.Waveform, XY{X: float64(i) / flat.Rate, Y: flat.Samples[i]})
+	}
+	return res, nil
+}
+
+// PrintFig07 renders the result as the paper's waveform series.
+func PrintFig07(w io.Writer, r Fig07Result) {
+	fmt.Fprintf(w, "Fig. 7 — single-cell voltage drop (2 MHz carrier)\n")
+	fmt.Fprintf(w, "peak depth: %.4f (fractional), full width: %.1f ms\n", r.PeakDepth, r.FullWidthMs)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "time_s\tamplitude")
+	for _, pt := range r.Waveform {
+		fmt.Fprintf(tw, "%.4f\t%.5f\n", pt.X, pt.Y)
+	}
+	tw.Flush()
+}
+
+// Fig08Result reproduces Fig. 8: the five-peak ciphertext signature of one
+// blood cell with output electrodes 1–3 active on the 9-output device.
+type Fig08Result struct {
+	// PeakCount is the detected ciphertext peak count (5 in the paper:
+	// one from the lead electrode, two from each of the other two).
+	PeakCount int
+	// PeakTimesS are the apex times.
+	PeakTimesS []float64
+}
+
+// Fig08FivePeakSignature renders the Fig. 8 capture.
+func Fig08FivePeakSignature(o Options) (Fig08Result, error) {
+	s := quietSensor(false)
+	tr := singleTransit(microfluidic.TypeBloodCell, 1.0)
+	// Paper's "output electrodes 1-3": the lead electrode plus two
+	// flanked outputs → 1 + 2 + 2 = 5 peaks.
+	active := maskFor(s.Array.NumOutputs, 0, 1, 2)
+	acq, err := renderSingle(s, tr, active, 3.0, o.rng("fig08"))
+	if err != nil {
+		return Fig08Result{}, err
+	}
+	peaks, _, err := detectOn(acq, analysisConfig().ReferenceCarrierHz)
+	if err != nil {
+		return Fig08Result{}, err
+	}
+	res := Fig08Result{PeakCount: len(peaks)}
+	for _, p := range peaks {
+		res.PeakTimesS = append(res.PeakTimesS, p.Time)
+	}
+	return res, nil
+}
+
+// PrintFig08 renders the result.
+func PrintFig08(w io.Writer, r Fig08Result) {
+	fmt.Fprintf(w, "Fig. 8 — encrypted signature, outputs 1-3 active: %d peaks for 1 cell\n", r.PeakCount)
+	for i, t := range r.PeakTimesS {
+		fmt.Fprintf(w, "  peak %d at %.3f s\n", i+1, t)
+	}
+}
+
+// Fig11Config is one multiplexer selection of Fig. 11.
+type Fig11Config struct {
+	// Label is the paper's caption for the sub-figure.
+	Label string
+	// Outputs are the active output electrode indexes (0 = the paper's
+	// lead electrode 9; 8 = the paper's electrode 1).
+	Outputs []int
+	// ExpectedPeaks is the signature size the electrode grammar
+	// predicts.
+	ExpectedPeaks int
+	// DetectedPeaks is what the cloud pipeline counted.
+	DetectedPeaks int
+}
+
+// Fig11Result reproduces Fig. 11: encrypted signatures of a single 7.8 µm
+// bead under four multiplexer selections of the 9-output device.
+type Fig11Result struct {
+	Configs []Fig11Config
+}
+
+// Fig11EncryptedSignatures runs the four captures.
+func Fig11EncryptedSignatures(o Options) (Fig11Result, error) {
+	s := quietSensor(false)
+	configs := []Fig11Config{
+		{Label: "(a) electrode 9 (lead) only", Outputs: []int{0}},
+		{Label: "(b) electrodes 9 and 1", Outputs: []int{0, 8}},
+		{Label: "(c) electrodes 9, 1, 2", Outputs: []int{0, 7, 8}},
+		{Label: "(d) all nine outputs", Outputs: []int{0, 1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	rng := o.rng("fig11")
+	for i := range configs {
+		active := maskFor(s.Array.NumOutputs, configs[i].Outputs...)
+		configs[i].ExpectedPeaks = s.Array.PeaksPerParticle(active)
+		tr := singleTransit(microfluidic.TypeBead780, 1.0)
+		acq, err := renderSingle(s, tr, active, 3.0, rng)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		peaks, _, err := detectOn(acq, analysisConfig().ReferenceCarrierHz)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		configs[i].DetectedPeaks = len(peaks)
+	}
+	return Fig11Result{Configs: configs}, nil
+}
+
+// PrintFig11 renders the result.
+func PrintFig11(w io.Writer, r Fig11Result) {
+	fmt.Fprintln(w, "Fig. 11 — encrypted signatures of one 7.8 µm bead (9-output sensor)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "selection\texpected peaks\tdetected peaks")
+	for _, c := range r.Configs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", c.Label, c.ExpectedPeaks, c.DetectedPeaks)
+	}
+	tw.Flush()
+}
+
+// Fig15Row is one particle type's normalized impedance responses.
+type Fig15Row struct {
+	Particle microfluidic.Type
+	// DepthByFreq maps carrier → normalized drop depth (1 − minimum of
+	// the normalized trace), the quantity Fig. 15 plots.
+	DepthByFreq map[float64]float64
+}
+
+// Fig15Result reproduces Fig. 15: normalized impedance measurement of blood
+// cells and both bead types at multiple frequencies.
+type Fig15Result struct {
+	FrequenciesHz []float64
+	Rows          []Fig15Row
+}
+
+// Fig15ImpedanceSpectra renders one transit per particle type and measures
+// the drop depth on each carrier.
+func Fig15ImpedanceSpectra(o Options) (Fig15Result, error) {
+	// The figure's carrier set.
+	freqs := []float64{500e3, 1000e3, 2000e3, 2500e3, 3000e3}
+	s := quietSensor(false)
+	s.CarriersHz = freqs
+	rng := o.rng("fig15")
+
+	res := Fig15Result{FrequenciesHz: freqs}
+	for _, typ := range []microfluidic.Type{
+		microfluidic.TypeBloodCell, microfluidic.TypeBead358, microfluidic.TypeBead780,
+	} {
+		tr := singleTransit(typ, 1.0)
+		acq, err := renderSingle(s, tr, maskFor(s.Array.NumOutputs, 0), 2.0, rng)
+		if err != nil {
+			return Fig15Result{}, err
+		}
+		row := Fig15Row{Particle: typ, DepthByFreq: make(map[float64]float64, len(freqs))}
+		for _, f := range freqs {
+			ch, err := acq.Channel(f)
+			if err != nil {
+				return Fig15Result{}, err
+			}
+			flat, err := sigproc.Detrend(ch, sigproc.DefaultDetrendConfig())
+			if err != nil {
+				return Fig15Result{}, err
+			}
+			min, _ := sigproc.MinMax(flat.Samples)
+			row.DepthByFreq[f] = 1 - min
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintFig15 renders the result.
+func PrintFig15(w io.Writer, r Fig15Result) {
+	fmt.Fprintln(w, "Fig. 15 — normalized impedance drop by particle type and frequency")
+	tw := newTable(w)
+	fmt.Fprint(tw, "particle")
+	for _, f := range r.FrequenciesHz {
+		fmt.Fprintf(tw, "\t%.0fkHz", f/1e3)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprint(tw, row.Particle)
+		for _, f := range r.FrequenciesHz {
+			fmt.Fprintf(tw, "\t%.5f", row.DepthByFreq[f])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig16Point is one scatter point of the Fig. 16 cluster plot.
+type Fig16Point struct {
+	// Amp500k and Amp2500k are the peak amplitudes at the two carriers
+	// the figure plots.
+	Amp500k  float64
+	Amp2500k float64
+	// Classified is the classifier's call.
+	Classified microfluidic.Type
+	// Truth is the generating particle type (matched by transit time).
+	Truth microfluidic.Type
+}
+
+// Fig16Result reproduces Fig. 16: the amplitude clusters that make the
+// cyto-coded password alphabet decodable.
+type Fig16Result struct {
+	Points []Fig16Point
+	// Accuracy is the fraction of peaks whose classifier call matches
+	// the generating particle.
+	Accuracy float64
+	// CountByTruth tallies the generating particles per type.
+	CountByTruth map[microfluidic.Type]int
+}
+
+// Fig16Clusters acquires a mixed sample (blood + both bead types) in
+// plaintext mode, extracts per-peak features, classifies them and scores
+// against transit-time-matched ground truth.
+func Fig16Clusters(o Options) (Fig16Result, error) {
+	duration := 600.0
+	if o.Quick {
+		duration = 120
+	}
+	s := quietSensor(false)
+	s.CarriersHz = []float64{500e3, 1000e3, 2000e3, 2500e3, 3000e3}
+	rng := o.rng("fig16")
+
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 120,
+		microfluidic.TypeBead358:   80,
+		microfluidic.TypeBead780:   80,
+	})
+	acqRes, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: duration}, rng)
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	cfg := analysisConfig()
+	cfg.ReferenceCarrierHz = 2000e3
+	report, err := cloudAnalyze(acqRes.Acquisition, cfg)
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	model, err := classify.ReferenceModel(s.CarriersHz)
+	if err != nil {
+		return Fig16Result{}, err
+	}
+
+	// Ground truth: match each peak to the nearest transit by time
+	// (plaintext mode: the lead crossing happens a fixed offset after
+	// entry).
+	leadOffset := 1.5 * s.Array.PitchUm / s.Channel.VelocityUmS()
+	transitTimes := make([]float64, len(acqRes.Transits))
+	for i, t := range acqRes.Transits {
+		transitTimes[i] = t.EntryS + leadOffset
+	}
+
+	res := Fig16Result{CountByTruth: make(map[microfluidic.Type]int)}
+	correct := 0
+	idx500, idx2500 := carrierIndex(report.CarriersHz, 500e3), carrierIndex(report.CarriersHz, 2500e3)
+	for _, p := range report.Peaks {
+		truthIdx := nearestTimeIndex(transitTimes, p.TimeS)
+		if truthIdx < 0 {
+			continue
+		}
+		truth := acqRes.Transits[truthIdx].Type
+		call, err := model.Classify(classify.Features(p.AmplitudeByCarrier))
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		pt := Fig16Point{
+			Amp500k:    p.AmplitudeByCarrier[idx500],
+			Amp2500k:   p.AmplitudeByCarrier[idx2500],
+			Classified: call.Type,
+			Truth:      truth,
+		}
+		res.Points = append(res.Points, pt)
+		res.CountByTruth[truth]++
+		if call.Type == truth {
+			correct++
+		}
+	}
+	if len(res.Points) > 0 {
+		res.Accuracy = float64(correct) / float64(len(res.Points))
+	}
+	return res, nil
+}
+
+// PrintFig16 renders per-cluster centroids and classification accuracy.
+func PrintFig16(w io.Writer, r Fig16Result) {
+	fmt.Fprintf(w, "Fig. 16 — amplitude clusters (500 kHz vs 2.5 MHz), %d peaks, accuracy %.3f\n",
+		len(r.Points), r.Accuracy)
+	type agg struct {
+		n         int
+		sx, sy    float64
+		asClass   int
+		typeOrder int
+	}
+	byType := map[microfluidic.Type]*agg{}
+	for _, pt := range r.Points {
+		a := byType[pt.Truth]
+		if a == nil {
+			a = &agg{}
+			byType[pt.Truth] = a
+		}
+		a.n++
+		a.sx += pt.Amp500k
+		a.sy += pt.Amp2500k
+		if pt.Classified == pt.Truth {
+			a.asClass++
+		}
+	}
+	types := make([]microfluidic.Type, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	tw := newTable(w)
+	fmt.Fprintln(tw, "cluster\tpoints\tmean amp@500kHz\tmean amp@2.5MHz\trecall")
+	for _, t := range types {
+		a := byType[t]
+		fmt.Fprintf(tw, "%v\t%d\t%.5f\t%.5f\t%.3f\n",
+			t, a.n, a.sx/float64(a.n), a.sy/float64(a.n), float64(a.asClass)/float64(a.n))
+	}
+	tw.Flush()
+}
+
+func carrierIndex(carriers []float64, f float64) int {
+	for i, c := range carriers {
+		if c == f {
+			return i
+		}
+	}
+	return 0
+}
+
+// nearestTimeIndex returns the index of the closest value in sorted times,
+// or -1 if times is empty or the nearest is farther than 0.5 s.
+func nearestTimeIndex(times []float64, t float64) int {
+	if len(times) == 0 {
+		return -1
+	}
+	i := sort.SearchFloat64s(times, t)
+	best, bestD := -1, 0.5
+	for _, j := range []int{i - 1, i} {
+		if j < 0 || j >= len(times) {
+			continue
+		}
+		d := times[j] - t
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+// Package kdf implements PBKDF2 with HMAC-SHA256 (RFC 8018 §5.2), used to
+// derive key-wrapping keys from practitioner passphrases when a patient
+// shares an acquisition's key schedule with a trusted party (§VII-B:
+// "MedSen's design also allows sharing of the generated keys with trusted
+// parties, e.g., the patient's practitioners, so that they could also access
+// the cloud-based analysis outcomes remotely").
+package kdf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DefaultIterations is the interactive-use PBKDF2 cost.
+const DefaultIterations = 16384
+
+// PBKDF2SHA256 derives keyLen bytes from the password and salt using the
+// given iteration count.
+func PBKDF2SHA256(password, salt []byte, iterations, keyLen int) []byte {
+	if iterations < 1 {
+		iterations = 1
+	}
+	if keyLen <= 0 {
+		return nil
+	}
+	hashLen := sha256.Size
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+	dk := make([]byte, 0, numBlocks*hashLen)
+
+	var blockIndex [4]byte
+	for block := 1; block <= numBlocks; block++ {
+		binary.BigEndian.PutUint32(blockIndex[:], uint32(block))
+
+		mac := hmac.New(sha256.New, password)
+		mac.Write(salt)
+		mac.Write(blockIndex[:])
+		u := mac.Sum(nil)
+
+		t := make([]byte, hashLen)
+		copy(t, u)
+		for i := 1; i < iterations; i++ {
+			mac = hmac.New(sha256.New, password)
+			mac.Write(u)
+			u = mac.Sum(nil)
+			for j := range t {
+				t[j] ^= u[j]
+			}
+		}
+		dk = append(dk, t...)
+	}
+	return dk[:keyLen]
+}

@@ -1,0 +1,103 @@
+package kdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Published PBKDF2-HMAC-SHA256 test vectors (widely cross-checked against
+// OpenSSL and Python hashlib).
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		password string
+		salt     string
+		iter     int
+		keyLen   int
+		want     string
+	}{
+		{
+			"password", "salt", 1, 32,
+			"120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b",
+		},
+		{
+			"password", "salt", 2, 32,
+			"ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43",
+		},
+		{
+			"password", "salt", 4096, 32,
+			"c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a",
+		},
+		{
+			"passwordPASSWORDpassword", "saltSALTsaltSALTsaltSALTsaltSALTsalt", 4096, 40,
+			"348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1c635518c7dac47e9",
+		},
+	}
+	for i, tc := range cases {
+		got := PBKDF2SHA256([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen)
+		want, err := hex.DecodeString(tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("vector %d: got %x, want %s", i, got, tc.want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := PBKDF2SHA256([]byte("pw"), []byte("s"), 100, 64)
+	b := PBKDF2SHA256([]byte("pw"), []byte("s"), 100, 64)
+	if !bytes.Equal(a, b) {
+		t.Fatal("PBKDF2 must be deterministic")
+	}
+}
+
+func TestDifferentInputsDiffer(t *testing.T) {
+	base := PBKDF2SHA256([]byte("pw"), []byte("s"), 100, 32)
+	if bytes.Equal(base, PBKDF2SHA256([]byte("pw2"), []byte("s"), 100, 32)) {
+		t.Error("different passwords must differ")
+	}
+	if bytes.Equal(base, PBKDF2SHA256([]byte("pw"), []byte("s2"), 100, 32)) {
+		t.Error("different salts must differ")
+	}
+	if bytes.Equal(base, PBKDF2SHA256([]byte("pw"), []byte("s"), 101, 32)) {
+		t.Error("different iteration counts must differ")
+	}
+}
+
+func TestKeyLengths(t *testing.T) {
+	for _, n := range []int{1, 16, 32, 33, 64, 100} {
+		if got := PBKDF2SHA256([]byte("pw"), []byte("s"), 2, n); len(got) != n {
+			t.Errorf("keyLen %d: got %d bytes", n, len(got))
+		}
+	}
+	if got := PBKDF2SHA256([]byte("pw"), []byte("s"), 2, 0); got != nil {
+		t.Error("zero keyLen should return nil")
+	}
+	if got := PBKDF2SHA256([]byte("pw"), []byte("s"), 2, -1); got != nil {
+		t.Error("negative keyLen should return nil")
+	}
+}
+
+func TestNonPositiveIterationsClamped(t *testing.T) {
+	a := PBKDF2SHA256([]byte("pw"), []byte("s"), 0, 32)
+	b := PBKDF2SHA256([]byte("pw"), []byte("s"), 1, 32)
+	if !bytes.Equal(a, b) {
+		t.Fatal("iterations < 1 should behave as 1")
+	}
+}
+
+func TestQuickPrefixConsistency(t *testing.T) {
+	// Block structure: a longer key must extend a shorter one, never
+	// change its prefix.
+	f := func(pw, salt []byte) bool {
+		short := PBKDF2SHA256(pw, salt, 3, 16)
+		long := PBKDF2SHA256(pw, salt, 3, 48)
+		return bytes.Equal(short, long[:16])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

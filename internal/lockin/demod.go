@@ -1,0 +1,90 @@
+package lockin
+
+import (
+	"fmt"
+	"math"
+
+	"medsen/internal/sigproc"
+)
+
+// Carrier-level modulation and demodulation. The rest of the package works
+// at the envelope level — the demodulated output the HF2IS hands to the
+// host — which is what the cloud pipeline consumes. This file implements
+// the actual lock-in operation (§VI-D: "the electrical impedance
+// measurement between the electrode pairs ... is modulated by the carrier
+// frequencies. In recovering the signal measurement, the signal is
+// demodulated by the same carrier frequencies") so tests can verify that
+// the envelope abstraction is faithful: modulating an envelope onto a
+// carrier and demodulating it recovers the envelope.
+
+// Modulate mixes a baseband envelope onto an AC carrier: the current through
+// the electrode pair is the excitation scaled by the (impedance-determined)
+// envelope. rawRateHz is the simulated front-end sampling rate and must obey
+// Nyquist for the carrier.
+func Modulate(envelope sigproc.Trace, carrierHz, rawRateHz, excitationV float64) (sigproc.Trace, error) {
+	if carrierHz <= 0 {
+		return sigproc.Trace{}, fmt.Errorf("lockin: non-positive carrier %v", carrierHz)
+	}
+	if rawRateHz < 2*carrierHz {
+		return sigproc.Trace{}, fmt.Errorf("lockin: raw rate %v below Nyquist for %v Hz", rawRateHz, carrierHz)
+	}
+	if envelope.Rate <= 0 || len(envelope.Samples) == 0 {
+		return sigproc.Trace{}, fmt.Errorf("lockin: empty envelope")
+	}
+	durationS := envelope.Duration()
+	n := int(durationS * rawRateHz)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / rawRateHz
+		// Sample-and-hold interpolation of the envelope is ample: the
+		// envelope bandwidth (≤ 120 Hz) is far below the carrier.
+		idx := int(t * envelope.Rate)
+		if idx >= len(envelope.Samples) {
+			idx = len(envelope.Samples) - 1
+		}
+		out[i] = excitationV * envelope.Samples[idx] * math.Sin(2*math.Pi*carrierHz*t)
+	}
+	return sigproc.Trace{Rate: rawRateHz, Samples: out}, nil
+}
+
+// Demodulate implements the dual-phase lock-in: multiply by quadrature
+// references at the carrier, low-pass both products, and output the
+// magnitude envelope resampled at outRateHz (450 Hz in the deployment).
+func Demodulate(raw sigproc.Trace, carrierHz, cutoffHz, outRateHz, excitationV float64) (sigproc.Trace, error) {
+	if carrierHz <= 0 || cutoffHz <= 0 || outRateHz <= 0 {
+		return sigproc.Trace{}, fmt.Errorf("lockin: bad demodulation parameters")
+	}
+	if raw.Rate < 2*carrierHz {
+		return sigproc.Trace{}, fmt.Errorf("lockin: raw rate %v below Nyquist for %v Hz", raw.Rate, carrierHz)
+	}
+	if excitationV <= 0 {
+		return sigproc.Trace{}, fmt.Errorf("lockin: non-positive excitation %v", excitationV)
+	}
+	n := len(raw.Samples)
+	inPhase := make([]float64, n)
+	quadrature := make([]float64, n)
+	for i, v := range raw.Samples {
+		t := float64(i) / raw.Rate
+		phase := 2 * math.Pi * carrierHz * t
+		// ×2 restores unit gain: sin·sin averages to 1/2.
+		inPhase[i] = 2 * v * math.Sin(phase)
+		quadrature[i] = 2 * v * math.Cos(phase)
+	}
+	// Two cascaded single-pole stages steepen the roll-off around the
+	// 2·carrier mixing images.
+	i1 := sigproc.LowPass(sigproc.Trace{Rate: raw.Rate, Samples: inPhase}, cutoffHz)
+	i1 = sigproc.LowPass(i1, cutoffHz)
+	q1 := sigproc.LowPass(sigproc.Trace{Rate: raw.Rate, Samples: quadrature}, cutoffHz)
+	q1 = sigproc.LowPass(q1, cutoffHz)
+
+	outN := int(float64(n) / raw.Rate * outRateHz)
+	out := make([]float64, outN)
+	for i := range out {
+		src := int(float64(i) / outRateHz * raw.Rate)
+		if src >= n {
+			src = n - 1
+		}
+		out[i] = math.Hypot(i1.Samples[src], q1.Samples[src]) / excitationV
+	}
+	return sigproc.Trace{Rate: outRateHz, Samples: out}, nil
+}

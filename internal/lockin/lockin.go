@@ -1,0 +1,199 @@
+// Package lockin models the data-acquisition chain of §VI-D: a multi-carrier
+// impedance spectroscope (the paper's Zurich Instruments HF2IS) driving the
+// electrode array with up to eight simultaneous AC carriers, demodulating
+// the output current per carrier, low-pass filtering at 120 Hz and sampling
+// the demodulated envelope at 450 Hz.
+//
+// The package renders the pulse events produced by the electrode model into
+// normalized voltage traces with the baseline drift (fluid concentration and
+// temperature, §VI-C) and front-end noise a real acquisition exhibits, so
+// the cloud pipeline must genuinely detrend and threshold to recover peaks.
+package lockin
+
+import (
+	"fmt"
+	"math"
+
+	"medsen/internal/drbg"
+	"medsen/internal/electrode"
+	"medsen/internal/sigproc"
+)
+
+// DefaultCarriersHz returns the paper's excitation carrier set:
+// [500, 800, 1000, 1200, 1400, 2000, 3000, 4000] kHz (§VI-D).
+func DefaultCarriersHz() []float64 {
+	return []float64{500e3, 800e3, 1000e3, 1200e3, 1400e3, 2000e3, 3000e3, 4000e3}
+}
+
+// Config holds the acquisition parameters of §VI-D.
+type Config struct {
+	// SampleRateHz is the demodulated output sampling rate (450 Hz).
+	SampleRateHz float64
+	// CutoffHz is the output low-pass filter corner (120 Hz).
+	CutoffHz float64
+	// ExcitationV is the per-carrier excitation amplitude (1 V).
+	ExcitationV float64
+	// NoiseSigma is the standard deviation of additive front-end noise on
+	// the normalized output.
+	NoiseSigma float64
+	// Drift configures the slow baseline wander the cloud must detrend.
+	Drift Drift
+}
+
+// Drift models the slow baseline changes of §VI-C: fluid concentration
+// changes over long acquisitions and temperature drift. Magnitudes are
+// relative to the normalized baseline of 1.0, per hour of acquisition.
+type Drift struct {
+	// LinearPerHour is the linear baseline slope.
+	LinearPerHour float64
+	// QuadraticPerHour2 is the quadratic term coefficient.
+	QuadraticPerHour2 float64
+	// WaveAmplitude and WavePeriodS add a slow sinusoidal component
+	// (e.g. room-temperature regulation cycles).
+	WaveAmplitude float64
+	WavePeriodS   float64
+}
+
+// DefaultConfig returns the paper's acquisition settings with calibrated
+// noise and drift levels.
+func DefaultConfig() Config {
+	return Config{
+		SampleRateHz: 450,
+		CutoffHz:     120,
+		ExcitationV:  1.0,
+		NoiseSigma:   0.00025,
+		Drift: Drift{
+			LinearPerHour:     -0.04,
+			QuadraticPerHour2: 0.01,
+			WaveAmplitude:     0.002,
+			WavePeriodS:       240,
+		},
+	}
+}
+
+// Validate checks the acquisition configuration.
+func (c Config) Validate() error {
+	if c.SampleRateHz <= 0 {
+		return fmt.Errorf("lockin: non-positive sample rate %v", c.SampleRateHz)
+	}
+	if c.CutoffHz <= 0 || c.CutoffHz >= c.SampleRateHz/2 {
+		return fmt.Errorf("lockin: cutoff %v must be in (0, Nyquist=%v)", c.CutoffHz, c.SampleRateHz/2)
+	}
+	if c.ExcitationV <= 0 {
+		return fmt.Errorf("lockin: non-positive excitation %v", c.ExcitationV)
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("lockin: negative noise sigma %v", c.NoiseSigma)
+	}
+	return nil
+}
+
+// baselineAt evaluates the drift model at time t.
+func (d Drift) baselineAt(tS float64) float64 {
+	h := tS / 3600
+	b := 1 + d.LinearPerHour*h + d.QuadraticPerHour2*h*h
+	if d.WaveAmplitude != 0 && d.WavePeriodS > 0 {
+		b += d.WaveAmplitude * math.Sin(2*math.Pi*tS/d.WavePeriodS)
+	}
+	return b
+}
+
+// Acquisition is a multi-carrier capture: one demodulated trace per
+// excitation carrier, all sharing the same clock.
+type Acquisition struct {
+	// CarriersHz lists the excitation frequencies, index-aligned with
+	// Traces.
+	CarriersHz []float64
+	// Traces holds one normalized demodulated trace per carrier.
+	Traces []sigproc.Trace
+}
+
+// Channel returns the trace for the given carrier frequency.
+func (a Acquisition) Channel(freqHz float64) (sigproc.Trace, error) {
+	for i, f := range a.CarriersHz {
+		if f == freqHz {
+			return a.Traces[i], nil
+		}
+	}
+	return sigproc.Trace{}, fmt.Errorf("lockin: no channel at %v Hz (have %v)", freqHz, a.CarriersHz)
+}
+
+// Duration returns the capture length in seconds (0 for an empty capture).
+func (a Acquisition) Duration() float64 {
+	if len(a.Traces) == 0 {
+		return 0
+	}
+	return a.Traces[0].Duration()
+}
+
+// Render converts per-carrier pulse event lists into a sampled multi-carrier
+// acquisition. pulsesByCarrier[i] holds the voltage-drop events for
+// carriersHz[i]; durationS is the capture window. rng supplies front-end
+// noise and may be nil for a noiseless render (unit tests, ground truth).
+func Render(
+	carriersHz []float64,
+	pulsesByCarrier [][]electrode.Pulse,
+	durationS float64,
+	cfg Config,
+	rng *drbg.DRBG,
+) (Acquisition, error) {
+	if err := cfg.Validate(); err != nil {
+		return Acquisition{}, err
+	}
+	if len(carriersHz) == 0 {
+		return Acquisition{}, fmt.Errorf("lockin: no carriers")
+	}
+	if len(pulsesByCarrier) != len(carriersHz) {
+		return Acquisition{}, fmt.Errorf("lockin: %d pulse lists for %d carriers",
+			len(pulsesByCarrier), len(carriersHz))
+	}
+	if durationS <= 0 {
+		return Acquisition{}, fmt.Errorf("lockin: non-positive duration %v", durationS)
+	}
+	n := int(durationS * cfg.SampleRateHz)
+	if n < 1 {
+		return Acquisition{}, fmt.Errorf("lockin: duration %v too short for rate %v", durationS, cfg.SampleRateHz)
+	}
+
+	acq := Acquisition{
+		CarriersHz: append([]float64(nil), carriersHz...),
+		Traces:     make([]sigproc.Trace, len(carriersHz)),
+	}
+	for ci := range carriersHz {
+		samples := make([]float64, n)
+		// Baseline with drift.
+		for i := range samples {
+			samples[i] = cfg.Drift.baselineAt(float64(i) / cfg.SampleRateHz)
+		}
+		// Superimpose Gaussian dips; each pulse touches only ±4σ.
+		for _, p := range pulsesByCarrier[ci] {
+			if p.SigmaS <= 0 {
+				continue
+			}
+			lo := int((p.TimeS - 4*p.SigmaS) * cfg.SampleRateHz)
+			hi := int((p.TimeS+4*p.SigmaS)*cfg.SampleRateHz) + 1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				t := float64(i) / cfg.SampleRateHz
+				d := (t - p.TimeS) / p.SigmaS
+				samples[i] -= p.Amplitude * math.Exp(-0.5*d*d) * samples[i]
+			}
+		}
+		// Front-end noise after demodulation.
+		if rng != nil && cfg.NoiseSigma > 0 {
+			for i := range samples {
+				samples[i] += cfg.NoiseSigma * rng.NormFloat64()
+			}
+		}
+		tr := sigproc.Trace{Rate: cfg.SampleRateHz, Samples: samples}
+		// The output low-pass filter shapes the noise floor.
+		tr = sigproc.LowPass(tr, cfg.CutoffHz)
+		acq.Traces[ci] = tr
+	}
+	return acq, nil
+}

@@ -1,0 +1,239 @@
+package lockin
+
+import (
+	"math"
+	"testing"
+
+	"medsen/internal/drbg"
+	"medsen/internal/electrode"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sigproc"
+)
+
+func TestDefaultCarriersMatchPaper(t *testing.T) {
+	want := []float64{500e3, 800e3, 1000e3, 1200e3, 1400e3, 2000e3, 3000e3, 4000e3}
+	got := DefaultCarriersHz()
+	if len(got) != 8 {
+		t.Fatalf("expected the paper's 8 carriers, got %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("carrier %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.SampleRateHz = 0 },
+		func(c *Config) { c.CutoffHz = 0 },
+		func(c *Config) { c.CutoffHz = 300 }, // above Nyquist
+		func(c *Config) { c.ExcitationV = 0 },
+		func(c *Config) { c.NoiseSigma = -1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func singlePulse(tS, amp, sigma float64) []electrode.Pulse {
+	return []electrode.Pulse{{
+		TimeS:     tS,
+		Amplitude: amp,
+		SigmaS:    sigma,
+		Electrode: 0,
+		Particle:  microfluidic.TypeBloodCell,
+	}}
+}
+
+func TestRenderProducesDipAtPulseTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Drift = Drift{}
+	acq, err := Render([]float64{2e6}, [][]electrode.Pulse{singlePulse(1.0, 0.01, 0.005)}, 2.0, cfg, nil)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	tr := acq.Traces[0]
+	if len(tr.Samples) != 900 {
+		t.Fatalf("trace length %d, want 900", len(tr.Samples))
+	}
+	minIdx := 0
+	for i, v := range tr.Samples {
+		if v < tr.Samples[minIdx] {
+			minIdx = i
+		}
+	}
+	if math.Abs(float64(minIdx)-450) > 3 {
+		t.Fatalf("dip at sample %d, want ~450", minIdx)
+	}
+	depth := 1 - tr.Samples[minIdx]
+	if depth < 0.006 || depth > 0.011 {
+		t.Fatalf("dip depth %v, want near 0.01 (low-pass smears a little)", depth)
+	}
+}
+
+func TestRenderBaselineNearOneWithoutDrift(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Drift = Drift{}
+	acq, err := Render([]float64{500e3}, [][]electrode.Pulse{nil}, 1.0, cfg, nil)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for i, v := range acq.Traces[0].Samples {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("sample %d = %v, want 1.0", i, v)
+		}
+	}
+}
+
+func TestRenderDriftMovesBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Drift = Drift{LinearPerHour: -3.6} // -0.1% per second
+	acq, err := Render([]float64{500e3}, [][]electrode.Pulse{nil}, 10, cfg, nil)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	s := acq.Traces[0].Samples
+	if s[len(s)-1] >= s[0] {
+		t.Fatalf("baseline should decline: start %v end %v", s[0], s[len(s)-1])
+	}
+	if math.Abs((s[0]-s[len(s)-1])-0.01) > 0.002 {
+		t.Fatalf("drift magnitude %v over 10 s, want ~0.01", s[0]-s[len(s)-1])
+	}
+}
+
+func TestRenderNoiseLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drift = Drift{}
+	acq, err := Render([]float64{500e3}, [][]electrode.Pulse{nil}, 20, cfg, drbg.NewFromSeed(9))
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	sd := sigproc.StdDev(acq.Traces[0].Samples)
+	// The 120 Hz low-pass attenuates white noise; the floor should be
+	// below the raw sigma but clearly non-zero.
+	if sd <= 0 {
+		t.Fatal("expected non-zero noise floor")
+	}
+	if sd >= cfg.NoiseSigma {
+		t.Fatalf("filtered noise %v should be below raw sigma %v", sd, cfg.NoiseSigma)
+	}
+}
+
+func TestRenderDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	pulses := [][]electrode.Pulse{singlePulse(0.5, 0.005, 0.005)}
+	a, err := Render([]float64{2e6}, pulses, 1, cfg, drbg.NewFromSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render([]float64{2e6}, pulses, 1, cfg, drbg.NewFromSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Traces[0].Samples {
+		if a.Traces[0].Samples[i] != b.Traces[0].Samples[i] {
+			t.Fatal("renders with equal seeds must match")
+		}
+	}
+}
+
+func TestRenderMultiCarrier(t *testing.T) {
+	carriers := DefaultCarriersHz()
+	pulses := make([][]electrode.Pulse, len(carriers))
+	arr := electrode.MustArray(9)
+	tr := microfluidic.Transit{Type: microfluidic.TypeBloodCell, EntryS: 0.4, VelocityUmS: 2200}
+	active := []bool{true, false, false, false, false, false, false, false, false}
+	for i, f := range carriers {
+		pulses[i] = arr.PulsesForTransit(tr, f, active, nil, 1)
+	}
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Drift = Drift{}
+	acq, err := Render(carriers, pulses, 1, cfg, nil)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if len(acq.Traces) != 8 {
+		t.Fatalf("got %d traces", len(acq.Traces))
+	}
+	// Blood-cell dip must be shallower at 3 MHz than at 500 kHz (Fig. 15a).
+	depth := func(trc sigproc.Trace) float64 {
+		min, _ := sigproc.MinMax(trc.Samples)
+		return 1 - min
+	}
+	c500, err := acq.Channel(500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3000, err := acq.Channel(3000e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth(c3000) >= depth(c500) {
+		t.Fatalf("3 MHz depth %v should be below 500 kHz depth %v", depth(c3000), depth(c500))
+	}
+	if _, err := acq.Channel(123); err == nil {
+		t.Fatal("expected error for unknown carrier")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Render(nil, nil, 1, cfg, nil); err == nil {
+		t.Error("expected error for no carriers")
+	}
+	if _, err := Render([]float64{1e6}, nil, 1, cfg, nil); err == nil {
+		t.Error("expected error for mismatched pulse lists")
+	}
+	if _, err := Render([]float64{1e6}, [][]electrode.Pulse{nil}, 0, cfg, nil); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := Render([]float64{1e6}, [][]electrode.Pulse{nil}, 0.0001, cfg, nil); err == nil {
+		t.Error("expected error for sub-sample duration")
+	}
+	bad := cfg
+	bad.SampleRateHz = -1
+	if _, err := Render([]float64{1e6}, [][]electrode.Pulse{nil}, 1, bad, nil); err == nil {
+		t.Error("expected config validation error")
+	}
+}
+
+func TestAcquisitionDuration(t *testing.T) {
+	if (Acquisition{}).Duration() != 0 {
+		t.Fatal("empty acquisition duration should be 0")
+	}
+	cfg := DefaultConfig()
+	acq, err := Render([]float64{1e6}, [][]electrode.Pulse{nil}, 3, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acq.Duration()-3) > 0.01 {
+		t.Fatalf("duration %v, want 3", acq.Duration())
+	}
+}
+
+func TestRenderPulseAtEdgeDoesNotPanic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	pulses := []electrode.Pulse{
+		{TimeS: -0.01, Amplitude: 0.01, SigmaS: 0.005},
+		{TimeS: 0.999, Amplitude: 0.01, SigmaS: 0.005},
+		{TimeS: 5.0, Amplitude: 0.01, SigmaS: 0.005}, // beyond window
+		{TimeS: 0.5, Amplitude: 0.01, SigmaS: 0},     // degenerate sigma
+	}
+	if _, err := Render([]float64{1e6}, [][]electrode.Pulse{pulses}, 1, cfg, nil); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}

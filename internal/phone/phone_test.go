@@ -1,0 +1,128 @@
+package phone
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"medsen/internal/cloud"
+	"medsen/internal/drbg"
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+)
+
+func testAcquisition(t *testing.T) lockin.Acquisition {
+	t.Helper()
+	s := sensor.NewDefault()
+	s.Loss = microfluidic.LossModel{Disabled: true}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(81))
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	return res.Acquisition
+}
+
+func newRelay(t *testing.T) *Relay {
+	t.Helper()
+	svc, err := cloud.NewService(cloud.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return &Relay{
+		Client: &cloud.Client{BaseURL: ts.URL},
+		Uplink: Default4G(),
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{UplinkBps: 1e6, RTT: 50 * time.Millisecond}
+	got := l.TransferTime(2e6)
+	want := 50*time.Millisecond + 2*time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	degenerate := Link{RTT: time.Second}
+	if degenerate.TransferTime(100) != time.Second {
+		t.Fatal("zero-bandwidth link should cost only RTT")
+	}
+}
+
+func TestUploadRoundTrip(t *testing.T) {
+	relay := newRelay(t)
+	var progress []string
+	relay.Progress = func(s string) { progress = append(progress, s) }
+
+	acq := testAcquisition(t)
+	sub, stats, err := relay.Upload(context.Background(), acq)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if sub.ID == "" || sub.Report.PeakCount == 0 {
+		t.Fatalf("submission = %+v", sub)
+	}
+	if stats.RawBytes <= stats.CompressedBytes {
+		t.Fatalf("compression did not shrink payload: %+v", stats)
+	}
+	if stats.CompressionRatio <= 1 {
+		t.Fatalf("ratio %v", stats.CompressionRatio)
+	}
+	if stats.SimulatedTransfer <= 0 {
+		t.Fatalf("transfer time %v", stats.SimulatedTransfer)
+	}
+	if len(progress) < 2 {
+		t.Fatalf("expected progress feedback, got %v", progress)
+	}
+}
+
+func TestUploadDoesNotSleepByDefault(t *testing.T) {
+	relay := newRelay(t)
+	relay.Uplink = Link{UplinkBps: 10, RTT: time.Hour} // absurd link
+	acq := testAcquisition(t)
+	start := time.Now()
+	_, stats, err := relay.Upload(context.Background(), acq)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("upload slept for %v despite Sleep=false", elapsed)
+	}
+	if stats.SimulatedTransfer < time.Hour {
+		t.Fatalf("simulated transfer %v, want >= RTT", stats.SimulatedTransfer)
+	}
+}
+
+func TestUploadHonorsContextWhenSleeping(t *testing.T) {
+	relay := newRelay(t)
+	relay.Uplink = Link{UplinkBps: 1, RTT: time.Hour, Sleep: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err := relay.Upload(ctx, testAcquisition(t))
+	if err == nil {
+		t.Fatal("expected context cancellation")
+	}
+}
+
+func TestAnalyzeReturnsReport(t *testing.T) {
+	relay := newRelay(t)
+	report, err := relay.Analyze(context.Background(), testAcquisition(t))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if report.PeakCount == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRelayWithoutClient(t *testing.T) {
+	r := &Relay{}
+	if _, _, err := r.Upload(context.Background(), lockin.Acquisition{}); err == nil {
+		t.Fatal("expected error for missing client")
+	}
+}

@@ -1,0 +1,158 @@
+package phone
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"medsen/internal/cloud"
+	"medsen/internal/csvio"
+	"medsen/internal/lockin"
+)
+
+// OfflineQueue is the phone app's store-and-forward buffer: a cellular link
+// can drop mid-test, and the (already encrypted) capture must not be lost —
+// the patient cannot re-bleed. Failed uploads are persisted as files and
+// flushed when connectivity returns. The queue contents are ciphertext; a
+// stolen phone learns nothing from them.
+type OfflineQueue struct {
+	// Dir is the spool directory.
+	Dir string
+
+	mu sync.Mutex
+}
+
+// payloadSuffix marks queued compressed captures.
+const payloadSuffix = ".zip"
+
+// Enqueue spools one compressed capture and returns its queue entry name.
+func (q *OfflineQueue) Enqueue(payload []byte) (string, error) {
+	if q.Dir == "" {
+		return "", errors.New("phone: queue has no directory")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := os.MkdirAll(q.Dir, 0o700); err != nil {
+		return "", fmt.Errorf("phone: creating queue dir: %w", err)
+	}
+	next, err := q.nextSeqLocked()
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%06d%s", next, payloadSuffix)
+	tmp := filepath.Join(q.Dir, name+".tmp")
+	if err := os.WriteFile(tmp, payload, 0o600); err != nil {
+		return "", fmt.Errorf("phone: spooling: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(q.Dir, name)); err != nil {
+		return "", fmt.Errorf("phone: committing spool entry: %w", err)
+	}
+	return name, nil
+}
+
+// nextSeqLocked returns one past the highest spooled sequence number.
+func (q *OfflineQueue) nextSeqLocked() (int, error) {
+	entries, err := q.pendingLocked()
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	for _, name := range entries {
+		if n, err := strconv.Atoi(strings.TrimSuffix(name, payloadSuffix)); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next, nil
+}
+
+// Pending lists spooled entries in upload order.
+func (q *OfflineQueue) Pending() ([]string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pendingLocked()
+}
+
+func (q *OfflineQueue) pendingLocked() ([]string, error) {
+	if q.Dir == "" {
+		return nil, errors.New("phone: queue has no directory")
+	}
+	entries, err := os.ReadDir(q.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("phone: reading queue: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), payloadSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Flush uploads spooled entries in order through the client, deleting each
+// on success. It stops at the first failure (connectivity is presumably
+// still bad) and reports how many entries were shipped.
+func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, error) {
+	if client == nil {
+		return 0, errors.New("phone: flush needs a cloud client")
+	}
+	names, err := q.Pending()
+	if err != nil {
+		return 0, err
+	}
+	flushed := 0
+	for _, name := range names {
+		path := filepath.Join(q.Dir, name)
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			return flushed, fmt.Errorf("phone: reading spool entry %s: %w", name, err)
+		}
+		if _, err := client.SubmitCompressed(ctx, payload); err != nil {
+			return flushed, fmt.Errorf("phone: flushing %s: %w", name, err)
+		}
+		if err := os.Remove(path); err != nil {
+			return flushed, fmt.Errorf("phone: removing flushed entry %s: %w", name, err)
+		}
+		flushed++
+	}
+	return flushed, nil
+}
+
+// UploadOrQueue attempts a live upload; on a transport or service failure it
+// spools the payload instead and reports queued=true. The measurement is
+// never lost.
+func (r *Relay) UploadOrQueue(ctx context.Context, acq lockin.Acquisition, q *OfflineQueue) (sub cloud.SubmitResponse, queued bool, err error) {
+	if q == nil {
+		return cloud.SubmitResponse{}, false, errors.New("phone: nil queue")
+	}
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		return cloud.SubmitResponse{}, false, err
+	}
+	if _, err := r.Uplink.TransferContext(ctx, len(payload)); err != nil {
+		return cloud.SubmitResponse{}, false, err
+	}
+	if r.Client != nil {
+		sub, err = r.Client.SubmitCompressed(ctx, payload)
+		if err == nil {
+			return sub, false, nil
+		}
+		r.progress("upload failed (%v), spooling capture", err)
+	}
+	name, qErr := q.Enqueue(payload)
+	if qErr != nil {
+		return cloud.SubmitResponse{}, false, fmt.Errorf("phone: upload failed and spooling failed: %w", qErr)
+	}
+	r.progress("capture spooled as %s", name)
+	return cloud.SubmitResponse{}, true, nil
+}

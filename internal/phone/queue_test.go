@@ -1,0 +1,185 @@
+package phone
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"medsen/internal/cloud"
+	"medsen/internal/csvio"
+)
+
+// flakyCloud wraps a live analysis service behind a switch that simulates a
+// dead cellular link.
+func flakyCloud(t *testing.T) (*cloud.Client, *atomic.Bool) {
+	t.Helper()
+	svc, err := cloud.NewService(cloud.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return &cloud.Client{BaseURL: ts.URL}, &down
+}
+
+func TestQueueEnqueuePendingOrder(t *testing.T) {
+	q := &OfflineQueue{Dir: t.TempDir()}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Enqueue([]byte{byte(i)}); err != nil {
+			t.Fatalf("Enqueue %d: %v", i, err)
+		}
+	}
+	names, err := q.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("pending = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("queue order broken: %v", names)
+		}
+	}
+}
+
+func TestQueueRequiresDir(t *testing.T) {
+	q := &OfflineQueue{}
+	if _, err := q.Enqueue([]byte("x")); err == nil {
+		t.Error("expected error without directory")
+	}
+	if _, err := q.Pending(); err == nil {
+		t.Error("expected error without directory")
+	}
+}
+
+func TestQueuePendingEmptyWhenDirMissing(t *testing.T) {
+	q := &OfflineQueue{Dir: t.TempDir() + "/never-created"}
+	names, err := q.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("pending = %v", names)
+	}
+}
+
+func TestUploadOrQueueSpoolsOnOutageAndFlushes(t *testing.T) {
+	client, down := flakyCloud(t)
+	relay := &Relay{Client: client, Uplink: Default4G()}
+	q := &OfflineQueue{Dir: t.TempDir()}
+	acq := testAcquisition(t)
+	ctx := context.Background()
+
+	// Live path first.
+	sub, queued, err := relay.UploadOrQueue(ctx, acq, q)
+	if err != nil || queued {
+		t.Fatalf("live upload: sub=%+v queued=%v err=%v", sub, queued, err)
+	}
+	if sub.ID == "" {
+		t.Fatal("no analysis id from live upload")
+	}
+
+	// Outage: captures spool instead of failing.
+	down.Store(true)
+	for i := 0; i < 2; i++ {
+		_, queued, err := relay.UploadOrQueue(ctx, acq, q)
+		if err != nil {
+			t.Fatalf("outage upload %d: %v", i, err)
+		}
+		if !queued {
+			t.Fatalf("outage upload %d not spooled", i)
+		}
+	}
+	if names, _ := q.Pending(); len(names) != 2 {
+		t.Fatalf("pending = %v, want 2 entries", names)
+	}
+
+	// Flush fails while the link is down, without losing entries.
+	if n, err := q.Flush(ctx, client); err == nil || n != 0 {
+		t.Fatalf("flush during outage: n=%d err=%v", n, err)
+	}
+	if names, _ := q.Pending(); len(names) != 2 {
+		t.Fatalf("entries lost during failed flush: %v", names)
+	}
+
+	// Connectivity returns: everything ships, spool drains.
+	down.Store(false)
+	n, err := q.Flush(ctx, client)
+	if err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("flushed %d, want 2", n)
+	}
+	if names, _ := q.Pending(); len(names) != 0 {
+		t.Fatalf("spool not drained: %v", names)
+	}
+	// The cloud now holds all three analyses.
+	list, err := client.ListAnalyses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("cloud has %d analyses, want 3", len(list))
+	}
+}
+
+func TestFlushValidation(t *testing.T) {
+	q := &OfflineQueue{Dir: t.TempDir()}
+	if _, err := q.Flush(context.Background(), nil); err == nil {
+		t.Fatal("expected error for nil client")
+	}
+}
+
+func TestUploadOrQueueNilQueue(t *testing.T) {
+	relay := &Relay{Client: &cloud.Client{BaseURL: "http://127.0.0.1:1"}, Uplink: Default4G()}
+	if _, _, err := relay.UploadOrQueue(context.Background(), testAcquisition(t), nil); err == nil {
+		t.Fatal("expected error for nil queue")
+	}
+}
+
+func TestQueueRoundTripPayloadIntact(t *testing.T) {
+	q := &OfflineQueue{Dir: t.TempDir()}
+	acq := testAcquisition(t)
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue(payload); err != nil {
+		t.Fatal(err)
+	}
+	names, err := q.Pending()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("pending %v err %v", names, err)
+	}
+}
+
+func TestQueueSequenceContinuesAfterFlush(t *testing.T) {
+	q := &OfflineQueue{Dir: t.TempDir()}
+	first, err := q.Enqueue([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := q.Enqueue([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("sequence numbers collided")
+	}
+	// Names must be zero-padded so lexical order equals numeric order.
+	if len(first) != len(second) {
+		t.Fatalf("inconsistent name widths: %q vs %q", first, second)
+	}
+}

@@ -1,0 +1,145 @@
+// Package profile reproduces the Fig. 14 experiment: the same peak-analysis
+// pipeline timed on two execution targets — the paper's Intel i7-4710MQ
+// workstation ("possibly a cloud virtual machine") and the Nexus 5's
+// Snapdragon 800. The physical devices are modeled as execution profiles:
+// a parallelism width and a per-core work multiplier calibrated to the
+// ~4.1–4.5× computer-vs-phone gap the paper measures. Absolute times depend
+// on the host running the benchmark; the *shape* — both linear in sample
+// count, phone a constant factor slower — is what the experiment checks.
+package profile
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"medsen/internal/sigproc"
+)
+
+// Profile describes an execution target.
+type Profile struct {
+	// Name labels the target in reports.
+	Name string
+	// Parallelism is the number of worker goroutines.
+	Parallelism int
+	// WorkFactor repeats the per-window fitting work to model slower
+	// silicon (1 = native speed).
+	WorkFactor int
+}
+
+// Computer returns the workstation profile (i7-4710MQ class).
+func Computer() Profile {
+	return Profile{Name: "computer", Parallelism: runtime.NumCPU(), WorkFactor: 1}
+}
+
+// SmartphoneNexus5 returns the phone profile: the Snapdragon 800 is also a
+// quad-core part, but each core delivers roughly a quarter of the
+// workstation core's throughput on this workload (Fig. 14 measures
+// 0.452/0.110 ≈ 4.1× at the smallest sample and 1.554/0.343 ≈ 4.5× at the
+// largest).
+func SmartphoneNexus5() Profile {
+	return Profile{Name: "nexus5", Parallelism: runtime.NumCPU(), WorkFactor: 4}
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.Parallelism < 1 {
+		return fmt.Errorf("profile: parallelism %d < 1", p.Parallelism)
+	}
+	if p.WorkFactor < 1 {
+		return fmt.Errorf("profile: work factor %d < 1", p.WorkFactor)
+	}
+	return nil
+}
+
+// Result is one timed analysis run.
+type Result struct {
+	// Peaks are the detected peaks over the full trace.
+	Peaks []sigproc.Peak
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+	// Samples is the number of processed data points.
+	Samples int
+}
+
+// RunPeakAnalysis executes the §VI-C pipeline (piecewise detrend + threshold
+// detection) over the trace under this profile, chunking the signal across
+// workers. Chunk boundaries align with detrend windows so results match the
+// sequential pipeline up to boundary effects.
+func (p Profile) RunPeakAnalysis(tr sigproc.Trace, dcfg sigproc.DetrendConfig, pcfg sigproc.PeakConfig) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(tr.Samples) == 0 {
+		return Result{}, fmt.Errorf("profile: empty trace")
+	}
+
+	// Chunk size: several detrend windows per chunk amortizes goroutine
+	// overhead while leaving enough chunks to fill the workers.
+	chunk := dcfg.Window * 8
+	if chunk <= 0 {
+		chunk = 32768
+	}
+	type piece struct {
+		start int
+		end   int
+	}
+	var pieces []piece
+	for start := 0; start < len(tr.Samples); start += chunk {
+		end := start + chunk
+		if end > len(tr.Samples) {
+			end = len(tr.Samples)
+		}
+		pieces = append(pieces, piece{start, end})
+	}
+
+	started := time.Now()
+	results := make([][]sigproc.Peak, len(pieces))
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.Parallelism)
+	for i, pc := range pieces {
+		wg.Add(1)
+		go func(i int, pc piece) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := sigproc.Trace{Rate: tr.Rate, Samples: tr.Samples[pc.start:pc.end]}
+			var flat sigproc.Trace
+			var err error
+			for rep := 0; rep < p.WorkFactor; rep++ {
+				flat, err = sigproc.Detrend(sub, dcfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			peaks := sigproc.DetectPeaks(flat, pcfg)
+			for k := range peaks {
+				peaks[k].Index += pc.start
+				peaks[k].Start += pc.start
+				peaks[k].End += pc.start
+				if tr.Rate > 0 {
+					peaks[k].Time = float64(peaks[k].Index) / tr.Rate
+				}
+			}
+			results[i] = peaks
+		}(i, pc)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("profile: chunk analysis: %w", err)
+		}
+	}
+	var all []sigproc.Peak
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+	return Result{Peaks: all, Elapsed: elapsed, Samples: len(tr.Samples)}, nil
+}

@@ -1,0 +1,119 @@
+// Package report renders practitioner-facing summaries from the device's
+// local diagnostic records: the latest result, the longitudinal trend, and
+// the §V integrity status, formatted as plain text suitable for printing or
+// a telehealth message. The paper's workflow stores ciphertext-derived
+// results in the cloud for the practitioner; the *plaintext* summary can
+// only be produced on the device (or by a practitioner holding a key share),
+// which is exactly where this package runs.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"medsen/internal/controller"
+	"medsen/internal/diagnosis"
+)
+
+// Options configures rendering.
+type Options struct {
+	// PatientLabel is a display label (never a biometric identity —
+	// cyto-coded deployments are pseudonymous).
+	PatientLabel string
+	// Panel selects which records to summarize.
+	Panel diagnosis.Panel
+	// Now anchors relative-time phrasing; required (the package takes no
+	// clock of its own).
+	Now time.Time
+}
+
+// Render produces the textual summary from a record log.
+func Render(log *controller.RecordLog, opts Options) (string, error) {
+	if log == nil {
+		return "", errors.New("report: nil record log")
+	}
+	if opts.Now.IsZero() {
+		return "", errors.New("report: Options.Now is required")
+	}
+	if err := opts.Panel.Validate(); err != nil {
+		return "", err
+	}
+	records, err := log.Load()
+	if err != nil {
+		return "", err
+	}
+	var matching []controller.Record
+	for _, r := range records {
+		if r.Panel == opts.Panel.Name {
+			matching = append(matching, r)
+		}
+	}
+	if len(matching) == 0 {
+		return "", fmt.Errorf("report: no %q records", opts.Panel.Name)
+	}
+
+	var b strings.Builder
+	label := opts.PatientLabel
+	if label == "" {
+		label = "patient"
+	}
+	fmt.Fprintf(&b, "MedSen %s report — %s\n", opts.Panel.Name, label)
+	fmt.Fprintf(&b, "generated %s · %d tests on record\n\n",
+		opts.Now.Format("2006-01-02"), len(matching))
+
+	latest := matching[len(matching)-1]
+	age := opts.Now.Sub(latest.Time)
+	fmt.Fprintf(&b, "latest (%s, %s ago):\n", latest.Time.Format("2006-01-02"), humanDuration(age))
+	fmt.Fprintf(&b, "  %.0f %s — %s [%s]\n", latest.ConcentrationPerUl, opts.Panel.Unit,
+		latest.Label, latest.Severity)
+	if latest.IntegrityOK != nil {
+		status := "verified"
+		if !*latest.IntegrityOK {
+			status = "FAILED — results may have been substituted"
+		}
+		fmt.Fprintf(&b, "  ciphertext integrity: %s\n", status)
+	}
+
+	if len(matching) >= 2 {
+		h, err := log.History(opts.Panel)
+		if err != nil {
+			return "", err
+		}
+		proj, err := h.Project()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\ntrend over %d tests: %+.1f %s/day\n",
+			len(matching), proj.SlopePerDay, opts.Panel.Unit)
+		switch {
+		case proj.Deteriorating && proj.CrossingBand.Label != "":
+			fmt.Fprintf(&b, "  projection: entering %q in ~%.0f days — review recommended\n",
+				proj.CrossingBand.Label, proj.DaysToCrossing)
+		case proj.CrossingBand.Label != "":
+			fmt.Fprintf(&b, "  projection: improving toward %q in ~%.0f days\n",
+				proj.CrossingBand.Label, proj.DaysToCrossing)
+		default:
+			fmt.Fprintf(&b, "  projection: stable within the current band\n")
+		}
+	}
+
+	fmt.Fprintf(&b, "\nhistory:\n")
+	for _, r := range matching {
+		fmt.Fprintf(&b, "  %s  %6.0f %s  %s\n",
+			r.Time.Format("2006-01-02"), r.ConcentrationPerUl, opts.Panel.Unit, r.Severity)
+	}
+	return b.String(), nil
+}
+
+// humanDuration renders an age compactly (days above 48 h, hours below).
+func humanDuration(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	if d >= 48*time.Hour {
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
+	return fmt.Sprintf("%dh", int(d.Hours()))
+}

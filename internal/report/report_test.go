@@ -1,0 +1,122 @@
+package report
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"medsen/internal/controller"
+	"medsen/internal/diagnosis"
+)
+
+func day(n int) time.Time {
+	return time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func seededLog(t *testing.T, concs ...float64) *controller.RecordLog {
+	t.Helper()
+	log := &controller.RecordLog{Path: filepath.Join(t.TempDir(), "rec.jsonl")}
+	for i, conc := range concs {
+		var res controller.DiagnosticResult
+		var err error
+		res.Diagnosis, err = diagnosis.CD4Panel().Diagnose(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.CellCount = int(conc)
+		if err := log.Append(day(i), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return log
+}
+
+func TestRenderDecliningPatient(t *testing.T) {
+	log := seededLog(t, 620, 610, 600, 590, 580)
+	out, err := Render(log, Options{
+		PatientLabel: "patient-07",
+		Panel:        diagnosis.CD4Panel(),
+		Now:          day(5),
+	})
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{
+		"MedSen CD4 count report — patient-07",
+		"5 tests on record",
+		"latest (2016-07-05, 24h ago)",
+		"580 cells/µL",
+		"trend over 5 tests: -10.0 cells/µL/day",
+		"review recommended",
+		"history:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSingleRecordNoTrend(t *testing.T) {
+	log := seededLog(t, 700)
+	out, err := Render(log, Options{Panel: diagnosis.CD4Panel(), Now: day(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "trend over") {
+		t.Fatalf("single record should not show a trend:\n%s", out)
+	}
+	if !strings.Contains(out, "MedSen CD4 count report — patient") {
+		t.Fatalf("default label missing:\n%s", out)
+	}
+}
+
+func TestRenderIntegrityStatus(t *testing.T) {
+	log := &controller.RecordLog{Path: filepath.Join(t.TempDir(), "rec.jsonl")}
+	var res controller.DiagnosticResult
+	var err error
+	res.Diagnosis, err = diagnosis.CD4Panel().Diagnose(450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.IntegrityChecked = true
+	res.IntegrityOK = false
+	if err := log.Append(day(0), res); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(log, Options{Panel: diagnosis.CD4Panel(), Now: day(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Fatalf("integrity failure not surfaced:\n%s", out)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := Render(nil, Options{Panel: diagnosis.CD4Panel(), Now: day(0)}); err == nil {
+		t.Error("expected error for nil log")
+	}
+	log := seededLog(t, 500)
+	if _, err := Render(log, Options{Panel: diagnosis.CD4Panel()}); err == nil {
+		t.Error("expected error for zero Now")
+	}
+	if _, err := Render(log, Options{Panel: diagnosis.Panel{}, Now: day(0)}); err == nil {
+		t.Error("expected error for invalid panel")
+	}
+	if _, err := Render(log, Options{Panel: diagnosis.PlateletPanel(), Now: day(0)}); err == nil {
+		t.Error("expected error when no records match the panel")
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	if got := humanDuration(3 * time.Hour); got != "3h" {
+		t.Fatalf("3h = %q", got)
+	}
+	if got := humanDuration(72 * time.Hour); got != "3d" {
+		t.Fatalf("72h = %q", got)
+	}
+	if got := humanDuration(-time.Hour); got != "0h" {
+		t.Fatalf("negative = %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+package medsen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"medsen"
+	"medsen/internal/diagnosis"
+)
+
+func TestDeviceQuickstartFlow(t *testing.T) {
+	device, err := medsen.NewDevice(medsen.WithSeed(1))
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	sample := medsen.NewBloodSample(10, 150)
+	res, err := device.RunDiagnostic(context.Background(), medsen.RunConfig{
+		Sample:    sample,
+		DurationS: 120,
+	}, medsen.NewLocalAnalyzer())
+	if err != nil {
+		t.Fatalf("RunDiagnostic: %v", err)
+	}
+	if res.Diagnosis.Severity != diagnosis.SeverityCritical {
+		t.Fatalf("150 cells/µL should stage critical, got %+v", res.Diagnosis)
+	}
+	if res.CiphertextPeaks <= res.CellCount {
+		t.Fatal("ciphertext should carry multiplied peaks")
+	}
+}
+
+func TestDeviceDeterministicWithSeed(t *testing.T) {
+	run := func() medsen.DiagnosticResult {
+		device, err := medsen.NewDevice(medsen.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := device.RunDiagnostic(context.Background(), medsen.RunConfig{
+			Sample:    medsen.NewBloodSample(10, 200),
+			DurationS: 60,
+		}, medsen.NewLocalAnalyzer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CellCount != b.CellCount || a.CiphertextPeaks != b.CiphertextPeaks {
+		t.Fatalf("seeded devices disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestNetworkedFlowWithEnrollmentAndAuth(t *testing.T) {
+	svc, err := medsen.NewCloudService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	device, err := medsen.NewDevice(medsen.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := device.NewIdentifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := medsen.NewCloudClient(ts.URL)
+	ctx := context.Background()
+	if err := client.Enroll(ctx, "alice", id); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+
+	// Authentication run: beads + blood in plaintext mode.
+	mixed, err := device.MixPassword(id, medsen.NewBloodSample(10, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq, err := device.AcquirePlaintext(mixed, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.SubmitAcquisition(ctx, acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := client.Authenticate(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Authenticated || auth.UserID != "alice" {
+		t.Fatalf("auth failed: %+v", auth)
+	}
+
+	// Diagnostic run through the phone relay against the same cloud.
+	relay := medsen.NewPhoneRelay(ts.URL)
+	res, err := device.RunDiagnostic(ctx, medsen.RunConfig{
+		Sample:    medsen.NewBloodSample(10, 150),
+		DurationS: 120,
+	}, relay)
+	if err != nil {
+		t.Fatalf("diagnostic via relay: %v", err)
+	}
+	if res.CellCount == 0 {
+		t.Fatal("no cells recovered")
+	}
+}
+
+func TestWithPanelOption(t *testing.T) {
+	device, err := medsen.NewDevice(medsen.WithSeed(5), medsen.WithPanel(medsen.PlateletPanel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := device.RunDiagnostic(context.Background(), medsen.RunConfig{
+		Sample:    medsen.NewBloodSample(10, 100),
+		DurationS: 60,
+	}, medsen.NewLocalAnalyzer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnosis.Panel != "platelet count" {
+		t.Fatalf("panel = %q", res.Diagnosis.Panel)
+	}
+}
+
+func TestWithNotifyOption(t *testing.T) {
+	var messages []string
+	device, err := medsen.NewDevice(medsen.WithSeed(9), medsen.WithNotify(func(s string) {
+		messages = append(messages, s)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device.RunDiagnostic(context.Background(), medsen.RunConfig{
+		Sample:    medsen.NewBloodSample(10, 100),
+		DurationS: 30,
+	}, medsen.NewLocalAnalyzer()); err != nil {
+		t.Fatal(err)
+	}
+	if len(messages) == 0 {
+		t.Fatal("notify callback never fired")
+	}
+}
+
+func TestEntropySeededDevice(t *testing.T) {
+	device, err := medsen.NewDevice()
+	if err != nil {
+		t.Fatalf("entropy-seeded device: %v", err)
+	}
+	if _, err := device.NewIdentifier(); err != nil {
+		t.Fatalf("NewIdentifier: %v", err)
+	}
+}
+
+func TestReferenceClassifierAvailable(t *testing.T) {
+	m, err := medsen.NewReferenceClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CarriersHz) != 8 {
+		t.Fatalf("classifier carriers = %d", len(m.CarriersHz))
+	}
+}
