@@ -11,8 +11,12 @@ import (
 
 	"medsen"
 	"medsen/internal/cipher"
+	"medsen/internal/cloud"
 	"medsen/internal/drbg"
 	"medsen/internal/experiments"
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
 	"medsen/internal/sigproc"
 )
 
@@ -251,5 +255,74 @@ func BenchmarkAblationSchemeComparison(b *testing.B) {
 		if _, err := experiments.SchemeComparison(benchOpts(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchAcquisition8 builds one deterministic 8-carrier capture for the
+// cloud-pipeline benchmarks.
+func benchAcquisition8(b *testing.B, durationS float64) lockin.Acquisition {
+	b.Helper()
+	s := sensor.NewDefault()
+	s.Loss = microfluidic.LossModel{Disabled: true}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: durationS}, drbg.NewFromSeed(2016))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Acquisition.Traces) != 8 {
+		b.Fatalf("expected 8 carriers, got %d", len(res.Acquisition.Traces))
+	}
+	return res.Acquisition
+}
+
+// BenchmarkCloudAnalyze compares the serial §VI-C pipeline against the
+// parallel one on the same 8-carrier acquisition. On a 4+ core machine the
+// parallel variant should clear a 1.5× speedup (per-carrier detrending is
+// embarrassingly parallel); outputs are bitwise identical either way.
+func BenchmarkCloudAnalyze(b *testing.B) {
+	acq := benchAcquisition8(b, 300)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 → GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := cloud.DefaultAnalysisConfig()
+			cfg.Workers = bc.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := cloud.Analyze(acq, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.PeakCount == 0 {
+					b.Fatal("no peaks")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetrendWorkers isolates the piecewise detrend, the pipeline's
+// dominant cost, across worker-pool sizes on one long carrier trace.
+func BenchmarkDetrendWorkers(b *testing.B) {
+	acq := benchAcquisition8(b, 300)
+	tr := acq.Traces[0]
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sigproc.DetrendWorkers(tr, sigproc.DefaultDetrendConfig(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

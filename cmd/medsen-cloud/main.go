@@ -1,11 +1,11 @@
 // Command medsen-cloud runs the untrusted analysis service: it accepts
-// zip-compressed measurement uploads, executes the peak-detection pipeline,
-// serves stored reports, and performs cyto-coded authentication against its
-// enrollment registry.
+// zip-compressed measurement uploads, executes the peak-detection pipeline
+// (inline or on a bounded async job queue), serves stored reports, and
+// performs cyto-coded authentication against its enrollment registry.
 //
 // Usage:
 //
-//	medsen-cloud [-addr :8077]
+//	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 	"os"
 	"time"
 
-	"medsen"
+	"medsen/internal/cloud"
 )
 
 func main() {
@@ -25,21 +25,30 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "async analysis worker count (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "async job queue depth before 429 backpressure (0 = default 64)")
+	stateDir := flag.String("state-dir", "", "directory persisting analyses across restarts (empty = in-memory only)")
 	flag.Parse()
 
-	svc, err := medsen.NewCloudService()
+	svc, err := cloud.NewService(cloud.ServiceConfig{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		StateDir:   *stateDir,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
 		return 1
 	}
+	defer svc.Close()
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("medsen-cloud: analysis service listening on %s", *addr)
-	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses, GET /api/v1/analyses/{id}, " +
-		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses")
+	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses[?async=1], GET /api/v1/analyses, " +
+		"GET /api/v1/analyses/{id}, GET /api/v1/jobs/{id}, POST /api/v1/analyses/{id}/authenticate, " +
+		"POST /api/v1/users, GET /api/v1/users/{id}/analyses")
 	if err := server.ListenAndServe(); err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
 		return 1

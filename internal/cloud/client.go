@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"medsen/internal/beads"
@@ -37,6 +39,38 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// BaseDelay is the first backoff; each retry doubles it.
 	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 → uncapped).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay added uniformly at random on
+	// top, de-synchronizing retries across a device fleet. 0 applies the
+	// default of 0.2; a negative value disables jitter entirely.
+	Jitter float64
+}
+
+// backoff returns the sleep before try attempt+1 (attempt ≥ 1 completed
+// tries), exponential with cap and jitter. rnd supplies the uniform [0,1)
+// draw so tests can pin it.
+func (p *RetryPolicy) backoff(attempt int, rnd func() float64) time.Duration {
+	delay := p.BaseDelay
+	// Cap the shift count: beyond 2^20 the MaxDelay cap (or any sane
+	// ctx deadline) has long since taken over.
+	for i := 1; i < attempt && i < 20; i++ {
+		delay *= 2
+		if p.MaxDelay > 0 && delay >= p.MaxDelay {
+			break
+		}
+	}
+	if p.MaxDelay > 0 && delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 && delay > 0 {
+		delay += time.Duration(float64(delay) * jitter * rnd())
+	}
+	return delay
 }
 
 // retryableStatus reports whether an HTTP status merits a retry.
@@ -51,26 +85,38 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+// sleepCtx blocks for d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// respMeta captures response metadata (headers) for callers that need more
+// than the decoded body, e.g. pagination totals.
+type respMeta struct {
+	header http.Header
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any, meta *respMeta) error {
 	attempts := 1
-	var delay time.Duration
 	if c.Retry != nil && method == http.MethodGet && c.Retry.MaxAttempts > 1 {
 		attempts = c.Retry.MaxAttempts
-		delay = c.Retry.BaseDelay
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(delay)
-			select {
-			case <-timer.C:
-			case <-ctx.Done():
-				timer.Stop()
-				return errors.Join(ctx.Err(), lastErr)
+			delay := c.Retry.backoff(attempt, rand.Float64)
+			if err := sleepCtx(ctx, delay); err != nil {
+				return errors.Join(err, lastErr)
 			}
-			delay *= 2
 		}
-		retryable, err := c.doOnce(ctx, method, path, body, contentType, out)
+		retryable, err := c.doOnce(ctx, method, path, body, contentType, out, meta)
 		if err == nil {
 			return nil
 		}
@@ -83,7 +129,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 }
 
 // doOnce performs one request and reports whether a failure is retryable.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType string, out any) (retryable bool, err error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType string, out any, meta *respMeta) (retryable bool, err error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -100,14 +146,23 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 		return true, fmt.Errorf("cloud: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if meta != nil {
+		meta.header = resp.Header
+	}
 	if resp.StatusCode >= 300 {
-		var eb errorBody
-		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr == nil && eb.Error != "" {
-			return retryableStatus(resp.StatusCode),
-				fmt.Errorf("cloud: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		apiErr := &APIError{
+			Code:       CodeInternal,
+			Message:    fmt.Sprintf("HTTP %d", resp.StatusCode),
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header),
+		}
+		var env errorEnvelope
+		if derr := json.NewDecoder(resp.Body).Decode(&env); derr == nil && env.Error.Code != "" {
+			apiErr.Code = env.Error.Code
+			apiErr.Message = env.Error.Message
 		}
 		return retryableStatus(resp.StatusCode),
-			fmt.Errorf("cloud: %s %s: HTTP %d", method, path, resp.StatusCode)
+			fmt.Errorf("cloud: %s %s: %w", method, path, apiErr)
 	}
 	if out == nil {
 		return false, nil
@@ -118,11 +173,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 	return false, nil
 }
 
-// SubmitCompressed uploads an already zip-compressed capture and returns the
-// analysis id and report.
+// SubmitCompressed uploads an already zip-compressed capture, waits for the
+// inline analysis, and returns the analysis id and report.
 func (c *Client) SubmitCompressed(ctx context.Context, payload []byte) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/api/v1/analyses", payload, "application/zip", &out)
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses", payload, "application/zip", &out, nil)
 	return out, err
 }
 
@@ -135,17 +190,85 @@ func (c *Client) SubmitAcquisition(ctx context.Context, acq lockin.Acquisition) 
 	return c.SubmitCompressed(ctx, payload)
 }
 
+// SubmitCompressedAsync enqueues an upload on the service's job queue and
+// returns the accepted job without waiting for analysis. Queue-full
+// backpressure surfaces as an error matching ErrQueueFull.
+func (c *Client) SubmitCompressedAsync(ctx context.Context, payload []byte) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses?async=1", payload, "application/zip", &job, nil)
+	return job, err
+}
+
+// GetJob fetches an async job's current state.
+func (c *Client) GetJob(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, "", &job, nil)
+	return job, err
+}
+
+// defaultPollInterval paces SubmitAndPoll status checks.
+const defaultPollInterval = 250 * time.Millisecond
+
+// SubmitAndPoll submits a capture through the async job API and polls the
+// job until it completes, returning the same SubmitResponse the synchronous
+// path would. Queue-full rejections are retried after the server's
+// Retry-After hint; cancellation is honored at every wait. interval ≤ 0
+// selects the default 250 ms.
+func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval time.Duration) (SubmitResponse, error) {
+	if interval <= 0 {
+		interval = defaultPollInterval
+	}
+	var job Job
+	for {
+		j, err := c.SubmitCompressedAsync(ctx, payload)
+		if err == nil {
+			job = j
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return SubmitResponse{}, err
+		}
+		wait := interval
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+			wait = apiErr.RetryAfter
+		}
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return SubmitResponse{}, errors.Join(serr, err)
+		}
+	}
+	for !job.Status.Terminal() {
+		if err := sleepCtx(ctx, interval); err != nil {
+			return SubmitResponse{}, err
+		}
+		j, err := c.GetJob(ctx, job.ID)
+		if err != nil {
+			return SubmitResponse{}, err
+		}
+		job = j
+	}
+	if job.Status == JobFailed {
+		return SubmitResponse{}, fmt.Errorf("cloud: job %s: %w",
+			job.ID, &APIError{Code: job.ErrorCode, Message: job.Error})
+	}
+	report, err := c.GetReport(ctx, job.AnalysisID)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	return SubmitResponse{ID: job.AnalysisID, Report: report}, nil
+}
+
 // GetReport fetches a stored analysis report.
 func (c *Client) GetReport(ctx context.Context, id string) (Report, error) {
 	var out Report
-	err := c.do(ctx, http.MethodGet, "/api/v1/analyses/"+id, nil, "", &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses/"+id, nil, "", &out, nil)
 	return out, err
 }
 
 // Authenticate runs cyto-coded authentication on a stored analysis.
 func (c *Client) Authenticate(ctx context.Context, id string) (AuthResult, error) {
 	var out AuthResult
-	err := c.do(ctx, http.MethodPost, "/api/v1/analyses/"+id+"/authenticate", nil, "", &out)
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses/"+id+"/authenticate", nil, "", &out, nil)
 	return out, err
 }
 
@@ -160,23 +283,73 @@ func (c *Client) Enroll(ctx context.Context, userID string, id beads.Identifier)
 	if err != nil {
 		return fmt.Errorf("cloud: encoding enrollment: %w", err)
 	}
-	return c.do(ctx, http.MethodPost, "/api/v1/users", body, "application/json", nil)
+	return c.do(ctx, http.MethodPost, "/api/v1/users", body, "application/json", nil, nil)
+}
+
+// Page bounds a listing request. The zero value requests everything.
+type Page struct {
+	// Limit is the maximum number of rows returned (0 → no limit).
+	Limit int
+	// Offset skips that many rows of the full ordered listing.
+	Offset int
+}
+
+func (p Page) query() string {
+	if p.Limit == 0 && p.Offset == 0 {
+		return ""
+	}
+	return "?limit=" + strconv.Itoa(p.Limit) + "&offset=" + strconv.Itoa(p.Offset)
+}
+
+// totalCount reads the X-Total-Count pagination header (-1 when absent).
+func totalCount(meta respMeta) int {
+	v := meta.header.Get("X-Total-Count")
+	if v == "" {
+		return -1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return -1
+	}
+	return n
 }
 
 // ListAnalyses returns summaries of every stored analysis.
 func (c *Client) ListAnalyses(ctx context.Context) ([]AnalysisSummary, error) {
+	out, _, err := c.ListAnalysesPage(ctx, Page{})
+	return out, err
+}
+
+// ListAnalysesPage returns one page of analysis summaries plus the total
+// number of stored analyses (X-Total-Count).
+func (c *Client) ListAnalysesPage(ctx context.Context, p Page) ([]AnalysisSummary, int, error) {
 	var out struct {
 		Analyses []AnalysisSummary `json:"analyses"`
 	}
-	err := c.do(ctx, http.MethodGet, "/api/v1/analyses", nil, "", &out)
-	return out.Analyses, err
+	var meta respMeta
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses"+p.query(), nil, "", &out, &meta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Analyses, totalCount(meta), nil
 }
 
 // UserAnalyses lists the analysis ids linked to a user.
 func (c *Client) UserAnalyses(ctx context.Context, userID string) ([]string, error) {
+	out, _, err := c.UserAnalysesPage(ctx, userID, Page{})
+	return out, err
+}
+
+// UserAnalysesPage returns one page of a user's analysis ids plus the total
+// linked count (X-Total-Count).
+func (c *Client) UserAnalysesPage(ctx context.Context, userID string, p Page) ([]string, int, error) {
 	var out struct {
 		AnalysisIDs []string `json:"analysis_ids"`
 	}
-	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+userID+"/analyses", nil, "", &out)
-	return out.AnalysisIDs, err
+	var meta respMeta
+	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+userID+"/analyses"+p.query(), nil, "", &out, &meta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.AnalysisIDs, totalCount(meta), nil
 }

@@ -1,0 +1,94 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The v1 API reports every failure as a uniform JSON envelope
+//
+//	{"error": {"code": "not_found", "message": "analysis \"an-9\" not found"}}
+//
+// so callers can branch on a stable machine-readable code instead of
+// scraping prose. The client decodes the envelope into *APIError, which
+// matches the sentinel errors below via errors.Is.
+
+// Wire error codes of the v1 API.
+const (
+	CodeInvalidRequest  = "invalid_request"
+	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeUnprocessable   = "unprocessable"
+	CodeQueueFull       = "queue_full"
+	CodeInternal        = "internal"
+)
+
+// Sentinel errors matched (via errors.Is) by *APIError values the client
+// decodes from v1 error envelopes.
+var (
+	// ErrInvalidRequest is a malformed request (bad JSON, bad parameters,
+	// undecodable upload).
+	ErrInvalidRequest = errors.New("cloud: invalid request")
+	// ErrNotFound is a missing analysis, job, or user resource.
+	ErrNotFound = errors.New("cloud: not found")
+	// ErrConflict is a uniqueness violation (e.g. duplicate identifier).
+	ErrConflict = errors.New("cloud: conflict")
+	// ErrPayloadTooLarge is an upload exceeding the service limit.
+	ErrPayloadTooLarge = errors.New("cloud: payload too large")
+	// ErrUnprocessable is a well-formed upload the pipeline cannot analyze.
+	ErrUnprocessable = errors.New("cloud: unprocessable")
+	// ErrQueueFull is async-submit backpressure: the job queue is at
+	// capacity. Retry after the interval in APIError.RetryAfter.
+	ErrQueueFull = errors.New("cloud: job queue full")
+	// ErrInternal is a server-side failure.
+	ErrInternal = errors.New("cloud: internal error")
+)
+
+// codeSentinels maps wire codes to their errors.Is sentinels.
+var codeSentinels = map[string]error{
+	CodeInvalidRequest:  ErrInvalidRequest,
+	CodeNotFound:        ErrNotFound,
+	CodeConflict:        ErrConflict,
+	CodePayloadTooLarge: ErrPayloadTooLarge,
+	CodeUnprocessable:   ErrUnprocessable,
+	CodeQueueFull:       ErrQueueFull,
+	CodeInternal:        ErrInternal,
+}
+
+// errorEnvelope is the wire form of every v1 error response.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// APIError is a decoded v1 error envelope. It matches the package sentinels
+// through errors.Is, so callers can write
+//
+//	if errors.Is(err, cloud.ErrQueueFull) { ... back off ... }
+type APIError struct {
+	// Code is the machine-readable wire code.
+	Code string
+	// Message is the human-readable detail.
+	Message string
+	// Status is the HTTP status the service answered with.
+	Status int
+	// RetryAfter is the server's suggested backoff (from the Retry-After
+	// header), zero when the server gave none.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cloud: %s (HTTP %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Is matches the sentinel for the error's wire code.
+func (e *APIError) Is(target error) bool {
+	return codeSentinels[e.Code] == target
+}

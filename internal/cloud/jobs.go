@@ -1,0 +1,208 @@
+package cloud
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"medsen/internal/csvio"
+)
+
+// Async analysis jobs. A 3-hour, 8-carrier capture takes real CPU time to
+// detrend and feature-extract; holding the upload connection open for the
+// whole analysis would pin one server thread per device and collapse under
+// fleet load. POST /api/v1/analyses?async=1 instead enqueues the payload on
+// a bounded in-memory queue and answers 202 with a job resource the caller
+// polls at GET /api/v1/jobs/{id}. A fixed worker pool drains the queue;
+// when it is full the service answers 429 with a Retry-After hint rather
+// than buffering without bound (graceful degradation under overload). The
+// synchronous path remains available for small captures.
+
+// JobStatus is the lifecycle state of an async analysis job.
+type JobStatus string
+
+// Job lifecycle: queued → running → done | failed.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// Job is the wire representation of an async analysis job.
+type Job struct {
+	// ID names the job ("job-N").
+	ID string `json:"id"`
+	// Status is the current lifecycle state.
+	Status JobStatus `json:"status"`
+	// AnalysisID is the stored analysis once Status is "done".
+	AnalysisID string `json:"analysis_id,omitempty"`
+	// ErrorCode and Error describe the failure once Status is "failed";
+	// ErrorCode uses the same vocabulary as the error envelope.
+	ErrorCode string `json:"error_code,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// queuedJob is the service-internal job record: the wire Job plus the
+// pending payload (released as soon as the worker picks it up).
+type queuedJob struct {
+	Job
+	payload []byte
+}
+
+// startJobWorkers launches the analysis worker pool. Called once from
+// NewService.
+func (s *Service) startJobWorkers() {
+	for i := 0; i < s.workers; i++ {
+		s.jobWG.Add(1)
+		go func() {
+			defer s.jobWG.Done()
+			for id := range s.jobCh {
+				s.runJob(id)
+			}
+		}()
+	}
+}
+
+// Close stops the job workers after draining already-queued jobs. Further
+// async submissions are rejected. It is safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.jobsClosed {
+		s.jobsClosed = true
+		close(s.jobCh)
+	}
+	s.mu.Unlock()
+	s.jobWG.Wait()
+}
+
+// enqueueJob registers a job for the payload and hands it to the worker
+// pool. ok=false means the queue is at capacity (backpressure).
+func (s *Service) enqueueJob(payload []byte) (Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobsClosed {
+		return Job{}, false, fmt.Errorf("cloud: service is shut down")
+	}
+	s.nextJobID++
+	id := "job-" + strconv.Itoa(s.nextJobID)
+	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload}
+	select {
+	case s.jobCh <- id:
+		s.jobs[id] = qj
+		s.metrics.JobsEnqueued++
+		return qj.Job, true, nil
+	default:
+		s.metrics.JobsRejected++
+		return Job{}, false, nil
+	}
+}
+
+// runJob executes one queued analysis: decompress, analyze, store — the
+// same work the synchronous handler does inline.
+func (s *Service) runJob(id string) {
+	s.mu.Lock()
+	qj, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	qj.Status = JobRunning
+	payload := qj.payload
+	qj.payload = nil
+	gate := s.jobGate
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+
+	acq, err := csvio.DecompressAcquisition(payload)
+	if err != nil {
+		s.failJob(qj, CodeInvalidRequest, err)
+		return
+	}
+	report, err := Analyze(acq, s.cfg)
+	if err != nil {
+		s.failJob(qj, CodeUnprocessable, err)
+		return
+	}
+	s.mu.Lock()
+	analysisID, err := s.storeReportLocked(report)
+	if err == nil {
+		qj.Status = JobDone
+		qj.AnalysisID = analysisID
+		s.metrics.JobsCompleted++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.failJob(qj, CodeInternal, err)
+	}
+}
+
+// failJob marks a job failed and counts the error.
+func (s *Service) failJob(qj *queuedJob, code string, err error) {
+	s.mu.Lock()
+	qj.Status = JobFailed
+	qj.ErrorCode = code
+	qj.Error = err.Error()
+	qj.payload = nil
+	s.metrics.JobsFailed++
+	s.metrics.UploadErrors++
+	s.mu.Unlock()
+}
+
+// retryAfterSeconds is the backpressure hint returned with 429 responses.
+const retryAfterSeconds = 1
+
+// handleSubmitAsync enqueues an upload and answers 202 with the job
+// resource (or 429 when the queue is full).
+func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte) {
+	job, ok, err := s.enqueueJob(body)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, err)
+		return
+	}
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			fmt.Errorf("job queue is at capacity (%d queued)", s.queueDepth))
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleGetJob serves one job's current state.
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	qj, ok := s.jobs[id]
+	var job Job
+	if ok {
+		job = qj.Job
+	}
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// parseRetryAfter reads a Retry-After header value in seconds (0 when
+// absent or malformed).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

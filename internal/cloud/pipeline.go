@@ -13,6 +13,9 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"medsen/internal/beads"
 	"medsen/internal/classify"
@@ -31,6 +34,12 @@ type AnalysisConfig struct {
 	// features are then sampled from every carrier. The paper's Fig. 11
 	// captures use 2 MHz.
 	ReferenceCarrierHz float64
+	// Workers bounds the pipeline's parallelism: carrier traces are
+	// detrended concurrently, detrend windows are fanned across a worker
+	// pool, and per-peak feature extraction is parallelized. 0 selects
+	// GOMAXPROCS; 1 forces the fully serial path. Every worker count
+	// produces bitwise-identical reports.
+	Workers int
 }
 
 // DefaultAnalysisConfig returns the paper's empirically chosen pipeline:
@@ -96,10 +105,16 @@ func (r Report) Features() []classify.Features {
 	return out
 }
 
-// Analyze runs the full §VI-C pipeline on an acquisition.
+// Analyze runs the full §VI-C pipeline on an acquisition. The per-carrier
+// work is embarrassingly parallel; cfg.Workers bounds the concurrency (0 →
+// GOMAXPROCS, 1 → serial) without changing a single output bit.
 func Analyze(acq lockin.Acquisition, cfg AnalysisConfig) (Report, error) {
 	if len(acq.Traces) == 0 {
 		return Report{}, errors.New("cloud: empty acquisition")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	refIdx := -1
 	for i, f := range acq.CarriersHz {
@@ -114,13 +129,9 @@ func Analyze(acq lockin.Acquisition, cfg AnalysisConfig) (Report, error) {
 		refIdx = 0
 	}
 
-	detrended := make([]sigproc.Trace, len(acq.Traces))
-	for i, tr := range acq.Traces {
-		flat, err := sigproc.Detrend(tr, cfg.Detrend)
-		if err != nil {
-			return Report{}, fmt.Errorf("cloud: detrending carrier %v: %w", acq.CarriersHz[i], err)
-		}
-		detrended[i] = flat
+	detrended, err := detrendCarriers(acq, cfg.Detrend, workers)
+	if err != nil {
+		return Report{}, err
 	}
 	peaks := sigproc.DetectPeaks(detrended[refIdx], cfg.Peaks)
 
@@ -129,10 +140,45 @@ func Analyze(acq lockin.Acquisition, cfg AnalysisConfig) (Report, error) {
 		ReferenceCarrierHz: acq.CarriersHz[refIdx],
 		DurationS:          acq.Duration(),
 		PeakCount:          len(peaks),
-		Peaks:              make([]PeakReport, 0, len(peaks)),
+		Peaks:              extractFeatures(detrended, peaks, workers),
 		SNRdB:              sigproc.SNR(detrended[refIdx], peaks),
 	}
-	for _, p := range peaks {
+	return report, nil
+}
+
+// detrendCarriers flattens every carrier trace, spreading carriers across
+// goroutines and, when carriers are fewer than workers, spreading each
+// carrier's fit windows across the leftover worker budget.
+func detrendCarriers(acq lockin.Acquisition, cfg sigproc.DetrendConfig, workers int) ([]sigproc.Trace, error) {
+	detrended := make([]sigproc.Trace, len(acq.Traces))
+	errs := make([]error, len(acq.Traces))
+	perCarrier := workers / len(acq.Traces)
+	if perCarrier < 1 {
+		perCarrier = 1
+	}
+	run := func(i int) {
+		flat, err := sigproc.DetrendWorkers(acq.Traces[i], cfg, perCarrier)
+		if err != nil {
+			errs[i] = fmt.Errorf("cloud: detrending carrier %v: %w", acq.CarriersHz[i], err)
+			return
+		}
+		detrended[i] = flat
+	}
+	forEach(len(acq.Traces), workers, run)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return detrended, nil
+}
+
+// extractFeatures samples every peak's drop depth on every carrier (the
+// classification features of Fig. 16), parallelized across peaks.
+func extractFeatures(detrended []sigproc.Trace, peaks []sigproc.Peak, workers int) []PeakReport {
+	reports := make([]PeakReport, len(peaks))
+	forEach(len(peaks), workers, func(pi int) {
+		p := peaks[pi]
 		pr := PeakReport{
 			TimeS:              p.Time,
 			Amplitude:          p.Amplitude,
@@ -149,9 +195,40 @@ func Analyze(acq lockin.Acquisition, cfg AnalysisConfig) (Report, error) {
 			}
 			pr.AmplitudeByCarrier[c] = depth
 		}
-		report.Peaks = append(report.Peaks, pr)
+		reports[pi] = pr
+	})
+	return reports
+}
+
+// forEach runs fn(0..n-1), fanning the indices across at most `workers`
+// goroutines. Each index writes only its own slice slot, so results are
+// position-stable regardless of scheduling.
+func forEach(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
 	}
-	return report, nil
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AuthResult is the outcome of server-side cyto-coded authentication.

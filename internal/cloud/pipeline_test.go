@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"medsen/internal/beads"
@@ -234,5 +235,38 @@ func TestAuthenticateReportValidation(t *testing.T) {
 	}
 	if _, err := AuthenticateReport(Report{}, model, registry, 0.08); err == nil {
 		t.Error("expected error for zero duration")
+	}
+}
+
+func TestAnalyzeParallelBitwiseIdenticalToSerial(t *testing.T) {
+	// An 8-carrier encrypted-style capture: the parallel pipeline must be
+	// indistinguishable from the serial one, peak for peak, bit for bit.
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 250,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 180}, drbg.NewFromSeed(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := DefaultAnalysisConfig()
+	serialCfg.Workers = 1
+	serial, err := Analyze(res.Acquisition, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.PeakCount == 0 {
+		t.Fatal("no peaks in reference run")
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		cfg := DefaultAnalysisConfig()
+		cfg.Workers = workers
+		par, err := Analyze(res.Acquisition, cfg)
+		if err != nil {
+			t.Fatalf("Analyze(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Fatalf("workers=%d: parallel report differs from serial", workers)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -21,21 +22,34 @@ import (
 const maxUploadBytes = 1 << 30
 
 // Service is the cloud analysis server: it accepts zip-compressed CSV
-// uploads, runs the peak-detection pipeline, stores reports for later
-// retrieval, authenticates users by bead statistics, and links identities to
-// stored results. It holds no keys and sees only ciphertext.
+// uploads, runs the peak-detection pipeline (inline or on an async job
+// queue), stores reports for later retrieval, authenticates users by bead
+// statistics, and links identities to stored results. It holds no keys and
+// sees only ciphertext.
 type Service struct {
 	cfg          AnalysisConfig
 	model        *classify.Model
 	registry     *beads.Registry
 	flowUlPerMin float64
 	stateDir     string
+	workers      int
+	queueDepth   int
 
 	mu       sync.RWMutex
 	analyses map[string]*storedAnalysis
 	byUser   map[string][]string
 	nextID   int
 	metrics  Metrics
+
+	// Async job machinery (jobs.go).
+	jobs       map[string]*queuedJob
+	nextJobID  int
+	jobCh      chan string
+	jobWG      sync.WaitGroup
+	jobsClosed bool
+	// jobGate, when non-nil, stalls each worker until a token arrives —
+	// tests use it to hold the queue full deterministically.
+	jobGate chan struct{}
 }
 
 type storedAnalysis struct {
@@ -59,6 +73,13 @@ type ServiceConfig struct {
 	// StateDir, when non-empty, persists every analysis to disk so the
 	// store survives restarts (one JSON document per analysis).
 	StateDir string
+	// Workers is the async job worker pool size (0 → GOMAXPROCS). Each
+	// worker runs one analysis at a time; the pipeline inside it is
+	// further parallelized per AnalysisConfig.Workers.
+	Workers int
+	// QueueDepth bounds the async job queue; submissions beyond it get
+	// 429 + Retry-After (0 → 64).
+	QueueDepth int
 }
 
 // NewService builds the analysis service.
@@ -86,18 +107,32 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.FlowUlPerMin < 0 {
 		return nil, fmt.Errorf("cloud: negative flow %v", cfg.FlowUlPerMin)
 	}
+	if cfg.Workers < 0 || cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("cloud: negative workers %d or queue depth %d", cfg.Workers, cfg.QueueDepth)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
 	s := &Service{
 		cfg:          cfg.Analysis,
 		model:        cfg.Model,
 		registry:     cfg.Registry,
 		flowUlPerMin: cfg.FlowUlPerMin,
 		stateDir:     cfg.StateDir,
+		workers:      cfg.Workers,
+		queueDepth:   cfg.QueueDepth,
 		analyses:     make(map[string]*storedAnalysis),
 		byUser:       make(map[string][]string),
+		jobs:         make(map[string]*queuedJob),
+		jobCh:        make(chan string, cfg.QueueDepth),
 	}
 	if err := s.loadState(); err != nil {
 		return nil, err
 	}
+	s.startJobWorkers()
 	return s, nil
 }
 
@@ -113,6 +148,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/analyses", s.handleListAnalyses)
 	mux.HandleFunc("POST /api/v1/analyses", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/analyses/{id}", s.handleGetAnalysis)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("POST /api/v1/analyses/{id}/authenticate", s.handleAuthenticate)
 	mux.HandleFunc("POST /api/v1/users", s.handleEnroll)
 	mux.HandleFunc("GET /api/v1/users/{id}/analyses", s.handleUserAnalyses)
@@ -127,12 +163,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+// writeError emits the uniform v1 error envelope
+// {"error":{"code":..., "message":...}}.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -148,38 +182,56 @@ type SubmitResponse struct {
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("reading upload: %w", err))
 		return
 	}
 	if len(body) > maxUploadBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds limit"))
+		writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, errors.New("upload exceeds limit"))
+		return
+	}
+	switch async := r.URL.Query().Get("async"); async {
+	case "", "0", "false":
+	case "1", "true":
+		s.handleSubmitAsync(w, body)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad async parameter %q", async))
 		return
 	}
 	acq, err := csvio.DecompressAcquisition(body)
 	if err != nil {
 		s.countUploadError()
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	report, err := Analyze(acq, s.cfg)
 	if err != nil {
 		s.countUploadError()
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	s.mu.Lock()
+	id, err := s.storeReportLocked(report)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Report: report})
+}
+
+// storeReportLocked assigns an analysis id, stores and persists the report,
+// and counts the upload. Callers must hold s.mu.
+func (s *Service) storeReportLocked(report Report) (string, error) {
 	s.nextID++
 	s.metrics.Uploads++
 	id := "an-" + strconv.Itoa(s.nextID)
 	stored := &storedAnalysis{Report: report}
 	s.analyses[id] = stored
-	err = s.persistAnalysis(id, stored)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	if err := s.persistAnalysis(id, stored); err != nil {
+		return "", err
 	}
-	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Report: report})
+	return id, nil
 }
 
 // AnalysisSummary is one row of the analyses listing.
@@ -190,7 +242,45 @@ type AnalysisSummary struct {
 	DurationS float64 `json:"duration_s"`
 }
 
-func (s *Service) handleListAnalyses(w http.ResponseWriter, _ *http.Request) {
+// pageParams parses the optional ?limit=&offset= pagination query. limit 0
+// (the default) means "no limit".
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	return limit, offset, nil
+}
+
+// paginate applies limit/offset to a sorted slice and stamps the
+// X-Total-Count header with the pre-slicing length.
+func paginate[T any](w http.ResponseWriter, items []T, limit, offset int) []T {
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(items)))
+	if offset >= len(items) {
+		return items[:0]
+	}
+	items = items[offset:]
+	if limit > 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items
+}
+
+func (s *Service) handleListAnalyses(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
 	s.mu.RLock()
 	summaries := make([]AnalysisSummary, 0, len(s.analyses))
 	for id, stored := range s.analyses {
@@ -210,6 +300,7 @@ func (s *Service) handleListAnalyses(w http.ResponseWriter, _ *http.Request) {
 		}
 		return ni < nj
 	})
+	summaries = paginate(w, summaries, limit, offset)
 	writeJSON(w, http.StatusOK, map[string][]AnalysisSummary{"analyses": summaries})
 }
 
@@ -219,7 +310,7 @@ func (s *Service) handleGetAnalysis(w http.ResponseWriter, r *http.Request) {
 	stored, ok := s.analyses[id]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("analysis %q not found", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("analysis %q not found", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, stored.Report)
@@ -231,12 +322,12 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	stored, ok := s.analyses[id]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("analysis %q not found", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("analysis %q not found", id))
 		return
 	}
 	res, err := AuthenticateReport(stored.Report, s.model, s.registry, s.flowUlPerMin)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	s.mu.Lock()
@@ -255,7 +346,7 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 		if persistErr != nil {
-			writeError(w, http.StatusInternalServerError, persistErr)
+			writeError(w, http.StatusInternalServerError, CodeInternal, persistErr)
 			return
 		}
 	}
@@ -274,35 +365,41 @@ type EnrollRequest struct {
 func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	var req EnrollRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding enrollment: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding enrollment: %w", err))
 		return
 	}
 	id := make(beads.Identifier, len(req.Identifier))
 	for name, lv := range req.Identifier {
 		t, err := microfluidic.TypeFromName(name)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		id[t] = lv
 	}
 	if err := s.registry.Enroll(req.UserID, id); err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, CodeInvalidRequest
 		if errors.Is(err, beads.ErrDuplicateIdentifier) {
-			status = http.StatusConflict
+			status, code = http.StatusConflict, CodeConflict
 		}
-		writeError(w, status, err)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"user_id": req.UserID})
 }
 
 func (s *Service) handleUserAnalyses(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
 	user := r.PathValue("id")
 	s.mu.RLock()
 	ids := append([]string(nil), s.byUser[user]...)
 	s.mu.RUnlock()
 	sort.Strings(ids)
+	ids = paginate(w, ids, limit, offset)
 	writeJSON(w, http.StatusOK, map[string][]string{"analysis_ids": ids})
 }
 
@@ -322,6 +419,11 @@ type Metrics struct {
 	AuthAccepted    int64 `json:"auth_accepted"`
 	StoredAnalyses  int   `json:"stored_analyses"`
 	EnrolledUsers   int   `json:"enrolled_users"`
+	// Async job counters.
+	JobsEnqueued  int64 `json:"jobs_enqueued"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
 }
 
 // Snapshot returns the current counters.

@@ -3,8 +3,10 @@ package cloud
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -24,6 +26,7 @@ func newTestServer(t *testing.T) (*Service, *httptest.Server, *Client) {
 	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
 	return svc, ts, &Client{BaseURL: ts.URL}
 }
 
@@ -334,5 +337,196 @@ func TestClientRetryHonorsContext(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("retry loop ignored context cancellation")
+	}
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/v1/analyses/an-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if env.Error.Code != CodeNotFound || env.Error.Message == "" {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestClientDecodesTypedErrors(t *testing.T) {
+	_, ts, client := newTestServer(t)
+	ctx := context.Background()
+
+	if _, err := client.GetReport(ctx, "an-999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetReport err = %v, want ErrNotFound", err)
+	}
+	// Garbage sync upload → invalid_request.
+	resp, err := http.Post(ts.URL+"/api/v1/analyses", "application/zip", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := client.SubmitCompressed(ctx, []byte("junk")); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("SubmitCompressed err = %v, want ErrInvalidRequest", err)
+	}
+	// Duplicate enrollment → conflict.
+	id := beads.Identifier{microfluidic.TypeBead358: 1}
+	if err := client.Enroll(ctx, "u1", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Enroll(ctx, "u2", id); !errors.Is(err, ErrConflict) {
+		t.Fatalf("Enroll err = %v, want ErrConflict", err)
+	}
+	// An ErrNotFound error must not match the other sentinels.
+	_, err = client.GetReport(ctx, "an-999")
+	if errors.Is(err, ErrConflict) || errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err %v matches unrelated sentinels", err)
+	}
+}
+
+func TestListAnalysesPagination(t *testing.T) {
+	_, ts, client := newTestServer(t)
+	ctx := context.Background()
+	s := quietSensor()
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 20}, drbg.NewFromSeed(87))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for i := 0; i < 5; i++ {
+		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sub.ID)
+	}
+
+	page, total, err := client.ListAnalysesPage(ctx, Page{Limit: 2, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	if len(page) != 2 || page[0].ID != all[1] || page[1].ID != all[2] {
+		t.Fatalf("page = %+v", page)
+	}
+	// Offset past the end → empty page, total intact.
+	page, total, err = client.ListAnalysesPage(ctx, Page{Limit: 2, Offset: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 || len(page) != 0 {
+		t.Fatalf("past-end page = %v total %d", page, total)
+	}
+	// Bad parameters → 400 invalid_request.
+	resp, err := http.Get(ts.URL + "/api/v1/analyses?limit=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=-1 status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/analyses?offset=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("offset=x status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUserAnalysesPagination(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+
+	id := beads.Identifier{microfluidic.TypeBead358: 2, microfluidic.TypeBead780: 4}
+	if err := client.Enroll(ctx, "alice", id); err != nil {
+		t.Fatal(err)
+	}
+	s := quietSensor()
+	alphabet := beads.DefaultAlphabet()
+	blood := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 1500,
+	})
+	mixed, err := alphabet.MixedSample(id, blood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: mixed, DurationS: 240}, drbg.NewFromSeed(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linked []string
+	for i := 0; i < 3; i++ {
+		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Authenticate(ctx, sub.ID); err != nil {
+			t.Fatal(err)
+		}
+		linked = append(linked, sub.ID)
+	}
+	sort.Strings(linked)
+
+	page, total, err := client.UserAnalysesPage(ctx, "alice", Page{Limit: 2, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(page) != 2 {
+		t.Fatalf("page %v total %d", page, total)
+	}
+	if page[0] != linked[1] || page[1] != linked[2] {
+		t.Fatalf("page = %v, linked = %v", page, linked)
+	}
+}
+
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	// rnd pinned to 0 → pure exponential with cap.
+	zero := func() float64 { return 0 }
+	for attempt, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 800 * time.Millisecond,
+		5: time.Second, // capped
+		9: time.Second,
+	} {
+		if got := p.backoff(attempt, zero); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	// rnd pinned to just-under-1 → delay + 20% default jitter, still capped
+	// relative to the base delay.
+	almostOne := func() float64 { return 0.999999 }
+	got := p.backoff(1, almostOne)
+	if got <= 100*time.Millisecond || got > 120*time.Millisecond {
+		t.Errorf("jittered backoff(1) = %v, want (100ms, 120ms]", got)
+	}
+	// Explicit jitter fraction.
+	p.Jitter = 0.5
+	got = p.backoff(1, almostOne)
+	if got <= 100*time.Millisecond || got > 150*time.Millisecond {
+		t.Errorf("jitter=0.5 backoff(1) = %v, want (100ms, 150ms]", got)
+	}
+	// Negative jitter disables it.
+	p.Jitter = -1
+	if got := p.backoff(1, almostOne); got != 100*time.Millisecond {
+		t.Errorf("jitter<0 backoff(1) = %v, want exactly 100ms", got)
 	}
 }

@@ -86,6 +86,12 @@ type Relay struct {
 	// ... test progression feedback to the user via information on the
 	// screen", §VI-D).
 	Progress func(string)
+	// Async submits through the service's job API and polls for the
+	// result instead of holding the upload connection open for the whole
+	// analysis — the right mode for long captures and loaded servers.
+	Async bool
+	// PollInterval paces async status polls (0 → the client default).
+	PollInterval time.Duration
 }
 
 func (r *Relay) progress(format string, args ...any) {
@@ -124,7 +130,13 @@ func (r *Relay) Upload(ctx context.Context, acq lockin.Acquisition) (cloud.Submi
 		return cloud.SubmitResponse{}, stats, fmt.Errorf("phone: uplink: %w", err)
 	}
 
-	sub, err := r.Client.SubmitCompressed(ctx, payload)
+	var sub cloud.SubmitResponse
+	if r.Async {
+		r.progress("submitted async; polling for the analysis result")
+		sub, err = r.Client.SubmitAndPoll(ctx, payload, r.PollInterval)
+	} else {
+		sub, err = r.Client.SubmitCompressed(ctx, payload)
+	}
 	if err != nil {
 		return cloud.SubmitResponse{}, stats, err
 	}

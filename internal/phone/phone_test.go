@@ -3,6 +3,7 @@ package phone
 import (
 	"context"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,6 +36,7 @@ func newRelay(t *testing.T) *Relay {
 	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
 	return &Relay{
 		Client: &cloud.Client{BaseURL: ts.URL},
 		Uplink: Default4G(),
@@ -124,5 +126,53 @@ func TestRelayWithoutClient(t *testing.T) {
 	r := &Relay{}
 	if _, _, err := r.Upload(context.Background(), lockin.Acquisition{}); err == nil {
 		t.Fatal("expected error for missing client")
+	}
+}
+
+func TestUploadAsyncPollsJobToCompletion(t *testing.T) {
+	relay := newRelay(t)
+	relay.Async = true
+	relay.PollInterval = 5 * time.Millisecond
+	var progress []string
+	relay.Progress = func(s string) { progress = append(progress, s) }
+
+	acq := testAcquisition(t)
+	sub, _, err := relay.Upload(context.Background(), acq)
+	if err != nil {
+		t.Fatalf("async Upload: %v", err)
+	}
+	if sub.ID == "" || sub.Report.PeakCount == 0 {
+		t.Fatalf("async submission = %+v", sub)
+	}
+	// The async path must produce the same report the sync path does.
+	relay.Async = false
+	syncSub, _, err := relay.Upload(context.Background(), acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncSub.Report.PeakCount != sub.Report.PeakCount {
+		t.Fatalf("async peaks %d != sync peaks %d", sub.Report.PeakCount, syncSub.Report.PeakCount)
+	}
+	found := false
+	for _, p := range progress {
+		if strings.Contains(p, "polling") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no polling progress line in %v", progress)
+	}
+}
+
+func TestAnalyzeAsyncReturnsReport(t *testing.T) {
+	relay := newRelay(t)
+	relay.Async = true
+	relay.PollInterval = 5 * time.Millisecond
+	report, err := relay.Analyze(context.Background(), testAcquisition(t))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if report.PeakCount == 0 {
+		t.Fatal("empty report")
 	}
 }

@@ -14,6 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Trace is a uniformly sampled single-channel signal.
@@ -196,60 +199,132 @@ func (c DetrendConfig) validate(traceLen int) error {
 // trace has a baseline near 1.0. Overlapping regions are blended with a
 // linear crossfade to avoid seams.
 func Detrend(t Trace, cfg DetrendConfig) (Trace, error) {
-	if err := cfg.validate(len(t.Samples)); err != nil {
-		return Trace{}, err
-	}
-	n := len(t.Samples)
-	out := make([]float64, n)
-	weight := make([]float64, n)
+	return DetrendWorkers(t, cfg, 1)
+}
 
+// detrendPlan returns the [start, end) bounds of every fit window the
+// piecewise detrend visits, in trace order.
+func detrendPlan(n int, cfg DetrendConfig) [][2]int {
 	step := cfg.Window - cfg.Overlap
+	var plan [][2]int
 	for start := 0; start < n; start += step {
 		end := start + cfg.Window
 		if end > n {
 			end = n
 		}
-		segLen := end - start
-		degree := cfg.Degree
-		if segLen <= degree {
-			degree = segLen - 1
-		}
-		xs := make([]float64, segLen)
-		for i := range xs {
-			// Local coordinates keep the normal equations well
-			// conditioned for long traces.
-			xs[i] = float64(i) / float64(cfg.Window)
-		}
-		coeffs, err := PolyFit(xs, t.Samples[start:end], degree)
-		if err != nil {
-			return Trace{}, fmt.Errorf("sigproc: detrending window [%d,%d): %w", start, end, err)
-		}
-		for i := 0; i < segLen; i++ {
-			fit := PolyEval(coeffs, xs[i])
-			var v float64
-			if math.Abs(fit) < 1e-12 {
-				v = 1
-			} else {
-				v = t.Samples[start+i] / fit
-			}
-			// Crossfade weight: ramps up across the overlap region.
-			w := 1.0
-			if cfg.Overlap > 0 {
-				if start > 0 && i < cfg.Overlap {
-					w = (float64(i) + 1) / float64(cfg.Overlap+1)
-				}
-				if end < n && i >= segLen-cfg.Overlap {
-					tail := (float64(segLen-i) + 0) / float64(cfg.Overlap+1)
-					if tail < w {
-						w = tail
-					}
-				}
-			}
-			out[start+i] += v * w
-			weight[start+i] += w
-		}
+		plan = append(plan, [2]int{start, end})
 		if end == n {
 			break
+		}
+	}
+	return plan
+}
+
+// detrendWindow fits one window and returns its crossfaded contribution
+// (value·weight) and weight per in-window sample.
+func detrendWindow(t Trace, cfg DetrendConfig, start, end, n int) (contrib, weight []float64, err error) {
+	segLen := end - start
+	degree := cfg.Degree
+	if segLen <= degree {
+		degree = segLen - 1
+	}
+	xs := make([]float64, segLen)
+	for i := range xs {
+		// Local coordinates keep the normal equations well
+		// conditioned for long traces.
+		xs[i] = float64(i) / float64(cfg.Window)
+	}
+	coeffs, err := PolyFit(xs, t.Samples[start:end], degree)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sigproc: detrending window [%d,%d): %w", start, end, err)
+	}
+	contrib = make([]float64, segLen)
+	weight = make([]float64, segLen)
+	for i := 0; i < segLen; i++ {
+		fit := PolyEval(coeffs, xs[i])
+		var v float64
+		if math.Abs(fit) < 1e-12 {
+			v = 1
+		} else {
+			v = t.Samples[start+i] / fit
+		}
+		// Crossfade weight: ramps up across the overlap region.
+		w := 1.0
+		if cfg.Overlap > 0 {
+			if start > 0 && i < cfg.Overlap {
+				w = (float64(i) + 1) / float64(cfg.Overlap+1)
+			}
+			if end < n && i >= segLen-cfg.Overlap {
+				tail := (float64(segLen-i) + 0) / float64(cfg.Overlap+1)
+				if tail < w {
+					w = tail
+				}
+			}
+		}
+		contrib[i] = v * w
+		weight[i] = w
+	}
+	return contrib, weight, nil
+}
+
+// DetrendWorkers is Detrend with the per-window polynomial fits spread
+// across a bounded pool of worker goroutines (workers ≤ 0 selects
+// GOMAXPROCS). Window fits are independent; their contributions are
+// accumulated afterwards in trace order, so the output is bitwise identical
+// to the serial path for any worker count.
+func DetrendWorkers(t Trace, cfg DetrendConfig, workers int) (Trace, error) {
+	if err := cfg.validate(len(t.Samples)); err != nil {
+		return Trace{}, err
+	}
+	n := len(t.Samples)
+	plan := detrendPlan(n, cfg)
+	contribs := make([][]float64, len(plan))
+	weights := make([][]float64, len(plan))
+	errs := make([]error, len(plan))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers <= 1 {
+		for wi, wnd := range plan {
+			contribs[wi], weights[wi], errs[wi] = detrendWindow(t, cfg, wnd[0], wnd[1], n)
+			if errs[wi] != nil {
+				return Trace{}, errs[wi]
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					wi := int(next.Add(1)) - 1
+					if wi >= len(plan) {
+						return
+					}
+					contribs[wi], weights[wi], errs[wi] = detrendWindow(t, cfg, plan[wi][0], plan[wi][1], n)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return Trace{}, err
+			}
+		}
+	}
+
+	out := make([]float64, n)
+	weight := make([]float64, n)
+	for wi, wnd := range plan {
+		for i, c := range contribs[wi] {
+			out[wnd[0]+i] += c
+			weight[wnd[0]+i] += weights[wi][i]
 		}
 	}
 	for i := range out {

@@ -436,3 +436,45 @@ func TestTraceDurationAndClone(t *testing.T) {
 		t.Fatal("Clone must deep-copy samples")
 	}
 }
+
+func TestDetrendWorkersBitwiseIdenticalToSerial(t *testing.T) {
+	dips := []int{400, 2100, 5200, 8800, 11000}
+	drift := func(i int) float64 { return 1 + 0.1*float64(i)/12000 + 2e-9*float64(i)*float64(i) }
+	tr := syntheticTrace(12000, 450, dips, 0.012, drift, drbg.NewFromSeed(23), 0.0004)
+	cfgs := []DetrendConfig{
+		DefaultDetrendConfig(),
+		{Degree: 2, Window: 1000, Overlap: 100},
+		{Degree: 3, Window: 700, Overlap: 0},
+		{Degree: 1, Window: 13000, Overlap: 500}, // single window covering the trace
+	}
+	for _, cfg := range cfgs {
+		serial, err := Detrend(tr, cfg)
+		if err != nil {
+			t.Fatalf("Detrend(%+v): %v", cfg, err)
+		}
+		for _, workers := range []int{0, 2, 3, 8} {
+			par, err := DetrendWorkers(tr, cfg, workers)
+			if err != nil {
+				t.Fatalf("DetrendWorkers(%+v, %d): %v", cfg, workers, err)
+			}
+			if par.Rate != serial.Rate || len(par.Samples) != len(serial.Samples) {
+				t.Fatalf("shape mismatch for workers=%d", workers)
+			}
+			for i := range serial.Samples {
+				if par.Samples[i] != serial.Samples[i] {
+					t.Fatalf("cfg %+v workers %d: sample %d differs: %v vs %v",
+						cfg, workers, i, par.Samples[i], serial.Samples[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDetrendWorkersValidation(t *testing.T) {
+	if _, err := DetrendWorkers(Trace{}, DefaultDetrendConfig(), 4); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+	if _, err := DetrendWorkers(Trace{Rate: 450, Samples: []float64{1, 1}}, DetrendConfig{Degree: -1, Window: 10}, 4); err == nil {
+		t.Fatal("expected error for negative degree")
+	}
+}

@@ -66,6 +66,10 @@ type (
 	CloudService = cloud.Service
 	// CloudClient talks to a CloudService over HTTP.
 	CloudClient = cloud.Client
+	// Job is an async analysis job resource (202 Accepted submissions).
+	Job = cloud.Job
+	// JobStatus is the job lifecycle state (queued/running/done/failed).
+	JobStatus = cloud.JobStatus
 	// PhoneRelay is the untrusted smartphone forwarder.
 	PhoneRelay = phone.Relay
 	// Link models the phone's cellular uplink.

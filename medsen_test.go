@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"medsen"
 	"medsen/internal/diagnosis"
@@ -161,5 +162,41 @@ func TestReferenceClassifierAvailable(t *testing.T) {
 	}
 	if len(m.CarriersHz) != 8 {
 		t.Fatalf("classifier carriers = %d", len(m.CarriersHz))
+	}
+}
+
+// TestAsyncNetworkedDiagnostic runs the full device→phone→cloud round trip
+// through the async job API: the relay submits with 202 + job polling
+// instead of holding the upload connection open.
+func TestAsyncNetworkedDiagnostic(t *testing.T) {
+	svc, err := medsen.NewCloudService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	device, err := medsen.NewDevice(medsen.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := medsen.NewPhoneRelay(ts.URL)
+	relay.Async = true
+	relay.PollInterval = 5 * time.Millisecond
+
+	res, err := device.RunDiagnostic(context.Background(), medsen.RunConfig{
+		Sample:    medsen.NewBloodSample(10, 150),
+		DurationS: 120,
+	}, relay)
+	if err != nil {
+		t.Fatalf("async diagnostic via relay: %v", err)
+	}
+	if res.CellCount == 0 {
+		t.Fatal("no cells recovered through the async path")
+	}
+	m := svc.Snapshot()
+	if m.JobsEnqueued == 0 || m.JobsCompleted == 0 {
+		t.Fatalf("diagnostic did not ride the job queue: %+v", m)
 	}
 }
