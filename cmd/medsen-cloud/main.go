@@ -3,17 +3,27 @@
 // (inline or on a bounded async job queue), serves stored reports, and
 // performs cyto-coded authentication against its enrollment registry.
 //
+// With -state-dir the async job queue is durable: accepted jobs are
+// journaled and recovered on restart, and SIGTERM/SIGINT drains in-flight
+// analyses within -shutdown-timeout instead of killing workers mid-job
+// (still-queued jobs stay journaled for the next start).
+//
 // Usage:
 //
 //	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
+//	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"medsen/internal/cloud"
@@ -27,19 +37,23 @@ func run() int {
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 0, "async analysis worker count (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "async job queue depth before 429 backpressure (0 = default 64)")
-	stateDir := flag.String("state-dir", "", "directory persisting analyses across restarts (empty = in-memory only)")
+	stateDir := flag.String("state-dir", "", "directory persisting analyses and job journals across restarts (empty = in-memory only)")
+	jobTTL := flag.Duration("job-ttl", 0, "terminal async job retention (0 = default 1h, negative = keep until count bound)")
+	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "retained terminal async job records (0 = default 1024, negative = unbounded)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
 	flag.Parse()
 
 	svc, err := cloud.NewService(cloud.ServiceConfig{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		StateDir:   *stateDir,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		StateDir:        *stateDir,
+		JobTTL:          *jobTTL,
+		MaxTerminalJobs: *maxTerminalJobs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
 		return 1
 	}
-	defer svc.Close()
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -47,11 +61,38 @@ func run() int {
 	}
 	log.Printf("medsen-cloud: analysis service listening on %s", *addr)
 	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses[?async=1], GET /api/v1/analyses, " +
-		"GET /api/v1/analyses/{id}, GET /api/v1/jobs/{id}, POST /api/v1/analyses/{id}/authenticate, " +
-		"POST /api/v1/users, GET /api/v1/users/{id}/analyses")
-	if err := server.ListenAndServe(); err != nil {
-		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+		"GET /api/v1/analyses/{id}, GET /api/v1/jobs, GET /api/v1/jobs/{id}, " +
+		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Signal received: stop accepting connections, then drain in-flight
+	// analyses within the deadline. Jobs no worker picked up stay journaled
+	// under -state-dir and are re-enqueued on the next start.
+	log.Printf("medsen-cloud: signal received; draining jobs (deadline %s)", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := server.Shutdown(sctx); err != nil {
+		log.Printf("medsen-cloud: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(sctx); err != nil {
+		log.Printf("medsen-cloud: drain incomplete: %v (unfinished jobs remain journaled)", err)
 		return 1
 	}
+	log.Printf("medsen-cloud: drained cleanly")
 	return 0
 }

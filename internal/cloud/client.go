@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -225,7 +226,10 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 			job = j
 			break
 		}
-		if !errors.Is(err, ErrQueueFull) {
+		// Queue-full and shutting-down answers are transient: the queue
+		// drains, and a draining instance is replaced by one that recovers
+		// its journal. Anything else is final.
+		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrUnavailable) {
 			return SubmitResponse{}, err
 		}
 		wait := interval
@@ -243,7 +247,18 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 		}
 		j, err := c.GetJob(ctx, job.ID)
 		if err != nil {
-			return SubmitResponse{}, err
+			// A restarting server journals accepted jobs and recovers them,
+			// so a transport error or 5xx mid-poll is worth riding out (the
+			// sleep above paces each retry); only a definitive API answer —
+			// e.g. 404 after the record's retention expired — ends the poll.
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && !retryableStatus(apiErr.Status) {
+				return SubmitResponse{}, err
+			}
+			if ctx.Err() != nil {
+				return SubmitResponse{}, errors.Join(ctx.Err(), err)
+			}
+			continue
 		}
 		job = j
 	}
@@ -256,6 +271,51 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 		return SubmitResponse{}, err
 	}
 	return SubmitResponse{ID: job.AnalysisID, Report: report}, nil
+}
+
+// JobFilter bounds and filters a jobs listing request. The zero value
+// requests every retained job.
+type JobFilter struct {
+	// Status, when non-empty, restricts rows to one lifecycle state.
+	Status JobStatus
+	Page
+}
+
+func (f JobFilter) query() string {
+	q := make(url.Values)
+	if f.Status != "" {
+		q.Set("status", string(f.Status))
+	}
+	if f.Limit != 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if f.Offset != 0 {
+		q.Set("offset", strconv.Itoa(f.Offset))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// ListJobs returns every job record the service still retains.
+func (c *Client) ListJobs(ctx context.Context) ([]Job, error) {
+	out, _, err := c.ListJobsPage(ctx, JobFilter{})
+	return out, err
+}
+
+// ListJobsPage returns one page of job records plus the pre-paging total
+// (X-Total-Count), optionally filtered by status.
+func (c *Client) ListJobsPage(ctx context.Context, f JobFilter) ([]Job, int, error) {
+	var out struct {
+		Jobs []Job `json:"jobs"`
+	}
+	var meta respMeta
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs"+f.query(), nil, "", &out, &meta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Jobs, totalCount(meta), nil
 }
 
 // GetReport fetches a stored analysis report.

@@ -22,6 +22,7 @@ const (
 	CodePayloadTooLarge = "payload_too_large"
 	CodeUnprocessable   = "unprocessable"
 	CodeQueueFull       = "queue_full"
+	CodeUnavailable     = "unavailable"
 	CodeInternal        = "internal"
 )
 
@@ -42,6 +43,9 @@ var (
 	// ErrQueueFull is async-submit backpressure: the job queue is at
 	// capacity. Retry after the interval in APIError.RetryAfter.
 	ErrQueueFull = errors.New("cloud: job queue full")
+	// ErrUnavailable is a submission rejected because the service is
+	// shutting down; another instance (or the restarted one) will serve it.
+	ErrUnavailable = errors.New("cloud: service unavailable")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
@@ -54,6 +58,7 @@ var codeSentinels = map[string]error{
 	CodePayloadTooLarge: ErrPayloadTooLarge,
 	CodeUnprocessable:   ErrUnprocessable,
 	CodeQueueFull:       ErrQueueFull,
+	CodeUnavailable:     ErrUnavailable,
 	CodeInternal:        ErrInternal,
 }
 

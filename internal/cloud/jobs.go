@@ -1,8 +1,11 @@
 package cloud
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -13,11 +16,21 @@ import (
 // detrend and feature-extract; holding the upload connection open for the
 // whole analysis would pin one server thread per device and collapse under
 // fleet load. POST /api/v1/analyses?async=1 instead enqueues the payload on
-// a bounded in-memory queue and answers 202 with a job resource the caller
-// polls at GET /api/v1/jobs/{id}. A fixed worker pool drains the queue;
-// when it is full the service answers 429 with a Retry-After hint rather
-// than buffering without bound (graceful degradation under overload). The
-// synchronous path remains available for small captures.
+// a bounded queue and answers 202 with a job resource the caller polls at
+// GET /api/v1/jobs/{id}. A fixed worker pool drains the queue; when it is
+// full the service answers 429 with a Retry-After hint rather than buffering
+// without bound (graceful degradation under overload). The synchronous path
+// remains available for small captures.
+//
+// Jobs are durable when the service has a StateDir: each accepted job is
+// journaled (payload included) before the 202 is sent, every lifecycle
+// transition is mirrored to disk, and NewService re-enqueues any job that
+// was queued or running when the previous process died — an accepted upload
+// is never lost, and a poller that held a job id across the restart gets
+// the recovered state instead of a 404. Terminal job records are retained
+// in memory (and on disk) only for the configured TTL/count bounds, then
+// evicted; Shutdown lets in-flight analyses finish within a deadline while
+// still-queued jobs stay journaled for the next process.
 
 // JobStatus is the lifecycle state of an async analysis job.
 type JobStatus string
@@ -32,6 +45,15 @@ const (
 
 // Terminal reports whether the status is final.
 func (s JobStatus) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// parseJobStatus validates a ?status= filter value.
+func parseJobStatus(v string) (JobStatus, error) {
+	switch st := JobStatus(v); st {
+	case JobQueued, JobRunning, JobDone, JobFailed:
+		return st, nil
+	}
+	return "", fmt.Errorf("unknown job status %q", v)
+}
 
 // Job is the wire representation of an async analysis job.
 type Job struct {
@@ -48,28 +70,57 @@ type Job struct {
 }
 
 // queuedJob is the service-internal job record: the wire Job plus the
-// pending payload (released as soon as the worker picks it up).
+// pending payload (released as soon as the worker picks it up) and the
+// retention clock.
 type queuedJob struct {
 	Job
 	payload []byte
+	// doneAt is when the job reached a terminal status; retention evicts
+	// terminal records doneAt+TTL after it.
+	doneAt time.Time
 }
 
+// Default retention bounds for terminal job records. Without them the jobs
+// map grows forever under fleet load — every completed job would pin its
+// record (and journal document) until the process died.
+const (
+	defaultJobTTL          = time.Hour
+	defaultMaxTerminalJobs = 1024
+)
+
 // startJobWorkers launches the analysis worker pool. Called once from
-// NewService.
+// NewService, after any journaled jobs have been re-enqueued.
 func (s *Service) startJobWorkers() {
 	for i := 0; i < s.workers; i++ {
 		s.jobWG.Add(1)
 		go func() {
 			defer s.jobWG.Done()
-			for id := range s.jobCh {
-				s.runJob(id)
+			for {
+				// A closed stop channel wins over more queued work, so
+				// Shutdown stops the pool after in-flight jobs without
+				// draining the backlog (it stays journaled).
+				select {
+				case <-s.jobStop:
+					return
+				default:
+				}
+				select {
+				case <-s.jobStop:
+					return
+				case id, ok := <-s.jobCh:
+					if !ok {
+						return
+					}
+					s.runJob(id)
+				}
 			}
 		}()
 	}
 }
 
 // Close stops the job workers after draining already-queued jobs. Further
-// async submissions are rejected. It is safe to call more than once.
+// async submissions are rejected. It is safe to call more than once and
+// after Shutdown.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if !s.jobsClosed {
@@ -80,26 +131,65 @@ func (s *Service) Close() {
 	s.jobWG.Wait()
 }
 
-// enqueueJob registers a job for the payload and hands it to the worker
-// pool. ok=false means the queue is at capacity (backpressure).
+// Shutdown stops accepting submissions and waits for in-flight analyses to
+// finish, up to the context deadline. Unlike Close it does not drain the
+// backlog: jobs no worker has picked up stay journaled under StateDir and
+// are re-enqueued by the next NewService over the same directory. A
+// deadline error means some analysis was still running when the context
+// expired; its journal entry makes it recoverable too.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.jobsClosed = true
+	if !s.jobsStopped {
+		s.jobsStopped = true
+		close(s.jobStop)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cloud: shutdown: %w", ctx.Err())
+	}
+}
+
+// errShutdown rejects submissions arriving after Close or Shutdown.
+var errShutdown = errors.New("cloud: service is shutting down")
+
+// enqueueJob registers a job for the payload, journals it, and hands it to
+// the worker pool. ok=false means the queue is at capacity (backpressure).
 func (s *Service) enqueueJob(payload []byte) (Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.jobsClosed {
-		return Job{}, false, fmt.Errorf("cloud: service is shut down")
+		return Job{}, false, errShutdown
 	}
-	s.nextJobID++
-	id := "job-" + strconv.Itoa(s.nextJobID)
-	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload}
+	s.evictJobsLocked()
+	// The id is committed only once the queue accepts the job, so 429
+	// rejections leave no gaps in the sequence.
+	id := jobFilePrefix + strconv.Itoa(s.nextJobID+1)
 	select {
 	case s.jobCh <- id:
-		s.jobs[id] = qj
-		s.metrics.JobsEnqueued++
-		return qj.Job, true, nil
 	default:
 		s.metrics.JobsRejected++
 		return Job{}, false, nil
 	}
+	s.nextJobID++
+	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload}
+	if err := s.persistJob(qj, payload); err != nil {
+		// The job was never registered: the id stays burned and the worker
+		// ignores the orphaned queue entry. The caller sees the error
+		// instead of a 202 for a job that could not be made durable.
+		return Job{}, false, err
+	}
+	s.jobs[id] = qj
+	s.metrics.JobsEnqueued++
+	return qj.Job, true, nil
 }
 
 // runJob executes one queued analysis: decompress, analyze, store — the
@@ -114,10 +204,23 @@ func (s *Service) runJob(id string) {
 	qj.Status = JobRunning
 	payload := qj.payload
 	qj.payload = nil
+	// Journal the transition; the payload stays on disk until the job is
+	// terminal so a crash mid-analysis reruns it.
+	s.journalJobLocked(qj, payload)
 	gate := s.jobGate
 	s.mu.Unlock()
 	if gate != nil {
-		<-gate
+		select {
+		case <-gate:
+		default:
+			select {
+			case <-gate:
+			case <-s.jobStop:
+				// Shutting down while gated: leave the journal as-is so
+				// the job is recovered by the next process.
+				return
+			}
+		}
 	}
 
 	acq, err := csvio.DecompressAcquisition(payload)
@@ -135,7 +238,10 @@ func (s *Service) runJob(id string) {
 	if err == nil {
 		qj.Status = JobDone
 		qj.AnalysisID = analysisID
+		qj.doneAt = s.now()
 		s.metrics.JobsCompleted++
+		s.journalJobLocked(qj, nil)
+		s.evictJobsLocked()
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -143,16 +249,58 @@ func (s *Service) runJob(id string) {
 	}
 }
 
-// failJob marks a job failed and counts the error.
+// failJob marks a job failed, journals the outcome, and counts the error.
 func (s *Service) failJob(qj *queuedJob, code string, err error) {
 	s.mu.Lock()
 	qj.Status = JobFailed
 	qj.ErrorCode = code
 	qj.Error = err.Error()
 	qj.payload = nil
+	qj.doneAt = s.now()
 	s.metrics.JobsFailed++
 	s.metrics.UploadErrors++
+	s.journalJobLocked(qj, nil)
+	s.evictJobsLocked()
 	s.mu.Unlock()
+}
+
+// evictJobsLocked drops terminal job records past the TTL or in excess of
+// the count bound (oldest terminal first), deleting their journal documents
+// so they stay gone across restarts. Queued and running jobs are never
+// evicted. Callers must hold s.mu.
+func (s *Service) evictJobsLocked() {
+	if s.jobTTL <= 0 && s.maxTerminalJobs <= 0 {
+		return
+	}
+	now := s.now()
+	var terminal []*queuedJob
+	for _, qj := range s.jobs {
+		if qj.Status.Terminal() {
+			terminal = append(terminal, qj)
+		}
+	}
+	sort.Slice(terminal, func(i, j int) bool {
+		if !terminal[i].doneAt.Equal(terminal[j].doneAt) {
+			return terminal[i].doneAt.Before(terminal[j].doneAt)
+		}
+		ni, _ := jobIDNumber(terminal[i].ID)
+		nj, _ := jobIDNumber(terminal[j].ID)
+		return ni < nj
+	})
+	evict := 0
+	if s.jobTTL > 0 {
+		for evict < len(terminal) && now.Sub(terminal[evict].doneAt) > s.jobTTL {
+			evict++
+		}
+	}
+	if s.maxTerminalJobs > 0 && len(terminal)-evict > s.maxTerminalJobs {
+		evict = len(terminal) - s.maxTerminalJobs
+	}
+	for _, qj := range terminal[:evict] {
+		delete(s.jobs, qj.ID)
+		s.removeJobFile(qj.ID)
+		s.metrics.JobsEvicted++
+	}
 }
 
 // retryAfterSeconds is the backpressure hint returned with 429 responses.
@@ -163,7 +311,12 @@ const retryAfterSeconds = 1
 func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte) {
 	job, ok, err := s.enqueueJob(body)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeInternal, err)
+		if errors.Is(err, errShutdown) {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		} else {
+			// Journal failure: the job could not be made durable.
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		}
 		return
 	}
 	if !ok {
@@ -176,16 +329,19 @@ func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-// handleGetJob serves one job's current state.
+// handleGetJob serves one job's current state. Expired terminal records are
+// evicted first, so a stale id answers 404 exactly as it would after a
+// restart past the TTL.
 func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.RLock()
+	s.mu.Lock()
+	s.evictJobsLocked()
 	qj, ok := s.jobs[id]
 	var job Job
 	if ok {
 		job = qj.Job
 	}
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("job %q not found", id))
 		return
@@ -193,16 +349,64 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// parseRetryAfter reads a Retry-After header value in seconds (0 when
-// absent or malformed).
+// handleListJobs serves the job listing, newest-id last, with an optional
+// ?status= filter and the standard pagination parameters.
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
+	var filter JobStatus
+	if v := r.URL.Query().Get("status"); v != "" {
+		filter, err = parseJobStatus(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.evictJobsLocked()
+	jobs := make([]Job, 0, len(s.jobs))
+	for _, qj := range s.jobs {
+		if filter != "" && qj.Status != filter {
+			continue
+		}
+		jobs = append(jobs, qj.Job)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool {
+		ni, erri := jobIDNumber(jobs[i].ID)
+		nj, errj := jobIDNumber(jobs[j].ID)
+		if erri != nil || errj != nil {
+			return jobs[i].ID < jobs[j].ID
+		}
+		return ni < nj
+	})
+	jobs = paginate(w, jobs, limit, offset)
+	writeJSON(w, http.StatusOK, map[string][]Job{"jobs": jobs})
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delta-seconds or an HTTP-date (proxies commonly rewrite one into the
+// other) — returning 0 when absent, malformed, or already past.
 func parseRetryAfter(h http.Header) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d := time.Until(t); d > 0 {
+		return d
+	}
+	return 0
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"medsen/internal/beads"
 	"medsen/internal/classify"
@@ -42,11 +43,20 @@ type Service struct {
 	metrics  Metrics
 
 	// Async job machinery (jobs.go).
-	jobs       map[string]*queuedJob
-	nextJobID  int
-	jobCh      chan string
-	jobWG      sync.WaitGroup
-	jobsClosed bool
+	jobs      map[string]*queuedJob
+	nextJobID int
+	jobCh     chan string
+	jobWG     sync.WaitGroup
+	// jobsClosed rejects further submissions; jobsStopped records that
+	// jobStop is closed (Shutdown ran).
+	jobsClosed  bool
+	jobsStopped bool
+	jobStop     chan struct{}
+	// Terminal-job retention bounds (jobs.go); now is the retention clock,
+	// replaceable by tests.
+	jobTTL          time.Duration
+	maxTerminalJobs int
+	now             func() time.Time
 	// jobGate, when non-nil, stalls each worker until a token arrives —
 	// tests use it to hold the queue full deterministically.
 	jobGate chan struct{}
@@ -80,6 +90,12 @@ type ServiceConfig struct {
 	// QueueDepth bounds the async job queue; submissions beyond it get
 	// 429 + Retry-After (0 → 64).
 	QueueDepth int
+	// JobTTL bounds how long terminal job records stay pollable after
+	// completion (0 → 1 h, negative → no TTL).
+	JobTTL time.Duration
+	// MaxTerminalJobs caps retained terminal job records; the oldest are
+	// evicted beyond it (0 → 1024, negative → no cap).
+	MaxTerminalJobs int
 }
 
 // NewService builds the analysis service.
@@ -116,21 +132,40 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = defaultJobTTL
+	}
+	if cfg.MaxTerminalJobs == 0 {
+		cfg.MaxTerminalJobs = defaultMaxTerminalJobs
+	}
 	s := &Service{
-		cfg:          cfg.Analysis,
-		model:        cfg.Model,
-		registry:     cfg.Registry,
-		flowUlPerMin: cfg.FlowUlPerMin,
-		stateDir:     cfg.StateDir,
-		workers:      cfg.Workers,
-		queueDepth:   cfg.QueueDepth,
-		analyses:     make(map[string]*storedAnalysis),
-		byUser:       make(map[string][]string),
-		jobs:         make(map[string]*queuedJob),
-		jobCh:        make(chan string, cfg.QueueDepth),
+		cfg:             cfg.Analysis,
+		model:           cfg.Model,
+		registry:        cfg.Registry,
+		flowUlPerMin:    cfg.FlowUlPerMin,
+		stateDir:        cfg.StateDir,
+		workers:         cfg.Workers,
+		queueDepth:      cfg.QueueDepth,
+		jobTTL:          cfg.JobTTL,
+		maxTerminalJobs: cfg.MaxTerminalJobs,
+		now:             time.Now,
+		analyses:        make(map[string]*storedAnalysis),
+		byUser:          make(map[string][]string),
+		jobs:            make(map[string]*queuedJob),
+		jobStop:         make(chan struct{}),
 	}
 	if err := s.loadState(); err != nil {
 		return nil, err
+	}
+	pending, err := s.loadJobs()
+	if err != nil {
+		return nil, err
+	}
+	// The channel must hold every recovered job on top of a full queue of
+	// new submissions, or re-enqueueing would block startup.
+	s.jobCh = make(chan string, cfg.QueueDepth+len(pending))
+	for _, id := range pending {
+		s.jobCh <- id
 	}
 	s.startJobWorkers()
 	return s, nil
@@ -148,6 +183,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/analyses", s.handleListAnalyses)
 	mux.HandleFunc("POST /api/v1/analyses", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/analyses/{id}", s.handleGetAnalysis)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("POST /api/v1/analyses/{id}/authenticate", s.handleAuthenticate)
 	mux.HandleFunc("POST /api/v1/users", s.handleEnroll)
@@ -221,16 +257,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // storeReportLocked assigns an analysis id, stores and persists the report,
-// and counts the upload. Callers must hold s.mu.
+// and counts the upload. Persistence happens before any in-memory commit: a
+// failed write must not leave a ghost analysis readable at GET
+// /api/v1/analyses/{id} or inflate the upload counter. Callers must hold
+// s.mu.
 func (s *Service) storeReportLocked(report Report) (string, error) {
-	s.nextID++
-	s.metrics.Uploads++
-	id := "an-" + strconv.Itoa(s.nextID)
+	id := "an-" + strconv.Itoa(s.nextID+1)
 	stored := &storedAnalysis{Report: report}
-	s.analyses[id] = stored
 	if err := s.persistAnalysis(id, stored); err != nil {
 		return "", err
 	}
+	s.nextID++
+	s.metrics.Uploads++
+	s.analyses[id] = stored
 	return id, nil
 }
 
@@ -293,12 +332,7 @@ func (s *Service) handleListAnalyses(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Slice(summaries, func(i, j int) bool {
-		ni, erri := idNumber(summaries[i].ID)
-		nj, errj := idNumber(summaries[j].ID)
-		if erri != nil || errj != nil {
-			return summaries[i].ID < summaries[j].ID
-		}
-		return ni < nj
+		return lessAnalysisID(summaries[i].ID, summaries[j].ID)
 	})
 	summaries = paginate(w, summaries, limit, offset)
 	writeJSON(w, http.StatusOK, map[string][]AnalysisSummary{"analyses": summaries})
@@ -398,7 +432,9 @@ func (s *Service) handleUserAnalyses(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	ids := append([]string(nil), s.byUser[user]...)
 	s.mu.RUnlock()
-	sort.Strings(ids)
+	// Numeric order, matching the analyses listing: lexical sort would put
+	// an-10 before an-2.
+	sortAnalysisIDs(ids)
 	ids = paginate(w, ids, limit, offset)
 	writeJSON(w, http.StatusOK, map[string][]string{"analysis_ids": ids})
 }
@@ -424,6 +460,13 @@ type Metrics struct {
 	JobsRejected  int64 `json:"jobs_rejected"`
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
+	// JobsEvicted counts terminal job records dropped by retention;
+	// JobsRecovered counts journaled jobs re-enqueued at startup;
+	// JobJournalErrors counts mid-run journal writes that failed (the job
+	// still completes, but a crash would rerun it).
+	JobsEvicted      int64 `json:"jobs_evicted"`
+	JobsRecovered    int64 `json:"jobs_recovered"`
+	JobJournalErrors int64 `json:"job_journal_errors"`
 }
 
 // Snapshot returns the current counters.

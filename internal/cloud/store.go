@@ -6,15 +6,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Disk persistence for the analysis store. The paper's deployment stores
-// results in the cloud "for a later access by the patient's practitioner";
-// a service restart must not lose them. Persistence is write-through: the
-// in-memory maps remain the serving path, every mutation is mirrored to one
-// JSON document per analysis under the state directory.
+// Disk persistence for the analysis store and the async job journal. The
+// paper's deployment stores results in the cloud "for a later access by the
+// patient's practitioner"; a service restart must not lose them — and an
+// *accepted* upload must not be lost either: the patient cannot re-bleed, so
+// every async job is journaled (payload included) from the moment the queue
+// takes it until it reaches a terminal state. Persistence is write-through:
+// the in-memory maps remain the serving path, every mutation is mirrored to
+// one JSON document per analysis or job under the state directory.
 
 // persistedAnalysis is the on-disk document.
 type persistedAnalysis struct {
@@ -35,18 +40,150 @@ func (s *Service) persistAnalysis(id string, stored *storedAnalysis) error {
 		return nil
 	}
 	doc := persistedAnalysis{ID: id, UserID: stored.UserID, Report: stored.Report}
+	return s.writeDoc(id, s.analysisFileName(id), doc)
+}
+
+// writeDoc commits one JSON document atomically (write temp, rename).
+func (s *Service) writeDoc(id, path string, doc any) error {
 	data, err := json.Marshal(doc)
 	if err != nil {
 		return fmt.Errorf("cloud: encoding %s: %w", id, err)
 	}
-	tmp := s.analysisFileName(id) + ".tmp"
+	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o600); err != nil {
 		return fmt.Errorf("cloud: writing %s: %w", id, err)
 	}
-	if err := os.Rename(tmp, s.analysisFileName(id)); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("cloud: committing %s: %w", id, err)
 	}
 	return nil
+}
+
+// persistedJob is the on-disk journal document for one async job. The
+// payload rides along until the job is terminal, so queued and running jobs
+// can be re-run after a crash; terminal documents keep only the outcome a
+// polling client needs.
+type persistedJob struct {
+	ID         string    `json:"id"`
+	Status     JobStatus `json:"status"`
+	AnalysisID string    `json:"analysis_id,omitempty"`
+	ErrorCode  string    `json:"error_code,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	// DoneAtUnix is the terminal-transition time, the retention clock.
+	DoneAtUnix int64  `json:"done_at_unix,omitempty"`
+	Payload    []byte `json:"payload,omitempty"`
+}
+
+// jobFilePrefix distinguishes job journal documents from analysis documents
+// in the shared state directory (job ids are "job-N", analyses "an-N").
+const jobFilePrefix = "job-"
+
+// jobFileName returns the journal path for a job id.
+func (s *Service) jobFileName(id string) string {
+	return filepath.Join(s.stateDir, id+".json")
+}
+
+// persistJob journals one job's current state (no-op without a state dir).
+// payload is written only while the job is non-terminal. Callers must hold
+// s.mu.
+func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
+	if s.stateDir == "" {
+		return nil
+	}
+	doc := persistedJob{
+		ID:         qj.ID,
+		Status:     qj.Status,
+		AnalysisID: qj.AnalysisID,
+		ErrorCode:  qj.ErrorCode,
+		Error:      qj.Error,
+	}
+	if !qj.doneAt.IsZero() {
+		doc.DoneAtUnix = qj.doneAt.Unix()
+	}
+	if !qj.Status.Terminal() {
+		doc.Payload = payload
+	}
+	return s.writeDoc(qj.ID, s.jobFileName(qj.ID), doc)
+}
+
+// journalJobLocked is persistJob for mid-run transitions, where no HTTP
+// caller can receive the error: a failed journal write leaves the previous
+// document in place (the job simply re-runs after a crash — at-least-once)
+// and is surfaced through the JobJournalErrors counter. Callers must hold
+// s.mu.
+func (s *Service) journalJobLocked(qj *queuedJob, payload []byte) {
+	if err := s.persistJob(qj, payload); err != nil {
+		s.metrics.JobJournalErrors++
+	}
+}
+
+// removeJobFile deletes a job's journal document (eviction).
+func (s *Service) removeJobFile(id string) {
+	if s.stateDir == "" {
+		return
+	}
+	_ = os.Remove(s.jobFileName(id))
+}
+
+// loadJobs restores the job journal: terminal records come back for polling
+// clients; queued and running jobs are returned as the pending id list the
+// caller re-enqueues (a job that was mid-analysis when the process died
+// reruns from its journaled payload). It also advances the job id counter
+// past every persisted document.
+func (s *Service) loadJobs() (pending []string, err error) {
+	if s.stateDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.stateDir)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: reading state dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, jobFilePrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.stateDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("cloud: reading %s: %w", name, err)
+		}
+		var doc persistedJob
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", name, err)
+		}
+		if doc.ID == "" {
+			return nil, fmt.Errorf("cloud: document %s lacks an id", name)
+		}
+		qj := &queuedJob{Job: Job{
+			ID:         doc.ID,
+			Status:     doc.Status,
+			AnalysisID: doc.AnalysisID,
+			ErrorCode:  doc.ErrorCode,
+			Error:      doc.Error,
+		}}
+		if doc.Status.Terminal() {
+			qj.doneAt = time.Unix(doc.DoneAtUnix, 0)
+			if doc.DoneAtUnix == 0 {
+				qj.doneAt = s.now()
+			}
+		} else {
+			qj.Status = JobQueued
+			qj.payload = doc.Payload
+			pending = append(pending, doc.ID)
+		}
+		s.jobs[doc.ID] = qj
+		if n, err := jobIDNumber(doc.ID); err == nil && n > s.nextJobID {
+			s.nextJobID = n
+		}
+	}
+	// Recover in submission order so a restart preserves queue fairness.
+	sort.Slice(pending, func(i, j int) bool {
+		ni, _ := jobIDNumber(pending[i])
+		nj, _ := jobIDNumber(pending[j])
+		return ni < nj
+	})
+	s.metrics.JobsRecovered += int64(len(pending))
+	return pending, nil
 }
 
 // loadState restores analyses from the state directory into the in-memory
@@ -64,7 +201,7 @@ func (s *Service) loadState() error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, jobFilePrefix) {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.stateDir, name))
@@ -96,4 +233,29 @@ func idNumber(id string) (int, error) {
 		return 0, errors.New("cloud: unrecognized analysis id")
 	}
 	return strconv.Atoi(rest)
+}
+
+// jobIDNumber extracts the counter from a "job-N" job id.
+func jobIDNumber(id string) (int, error) {
+	rest, ok := strings.CutPrefix(id, jobFilePrefix)
+	if !ok {
+		return 0, errors.New("cloud: unrecognized job id")
+	}
+	return strconv.Atoi(rest)
+}
+
+// lessAnalysisID orders analysis ids numerically (an-2 before an-10),
+// falling back to lexical order for foreign ids.
+func lessAnalysisID(a, b string) bool {
+	na, erra := idNumber(a)
+	nb, errb := idNumber(b)
+	if erra != nil || errb != nil {
+		return a < b
+	}
+	return na < nb
+}
+
+// sortAnalysisIDs sorts ids numerically in place.
+func sortAnalysisIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return lessAnalysisID(ids[i], ids[j]) })
 }

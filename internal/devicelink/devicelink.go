@@ -83,7 +83,11 @@ func PhoneServe(ctx context.Context, rw io.ReadWriter, relay *phone.Relay) (stri
 	if _, err := relay.Uplink.TransferContext(ctx, len(payload)); err != nil {
 		return "", fmt.Errorf("devicelink: uplink: %w", err)
 	}
-	sub, err := relay.Client.SubmitCompressed(ctx, payload)
+	// Submit honors the relay's async mode, so a job the service failed —
+	// including one recovered as failed after a cloud restart — propagates
+	// its error code back over the accessory link instead of stranding the
+	// device.
+	sub, err := relay.Submit(ctx, payload)
 	if err != nil {
 		// Tell the device the transfer failed rather than leaving it
 		// blocked on a report that will never come.
@@ -159,7 +163,7 @@ func PhoneServeReliable(ctx context.Context, rw io.ReadWriter, relay *phone.Rela
 	if _, err := relay.Uplink.TransferContext(ctx, len(payload)); err != nil {
 		return "", fmt.Errorf("devicelink: uplink: %w", err)
 	}
-	sub, err := relay.Client.SubmitCompressed(ctx, payload)
+	sub, err := relay.Submit(ctx, payload)
 	if err != nil {
 		_ = accessory.WriteFrame(rw, accessory.Frame{
 			Type:    accessory.FrameError,

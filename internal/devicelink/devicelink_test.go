@@ -2,12 +2,15 @@ package devicelink
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"medsen/internal/cloud"
 	"medsen/internal/drbg"
@@ -89,6 +92,86 @@ func TestFullLinkRoundTrip(t *testing.T) {
 	}
 	if stored.PeakCount != report.PeakCount {
 		t.Fatalf("report mismatch: %d vs %d", stored.PeakCount, report.PeakCount)
+	}
+}
+
+func TestFullLinkRoundTripAsync(t *testing.T) {
+	// The same controller → phone → cloud path with the relay in async
+	// mode: the phone submits through the job API and polls for the
+	// result; the device still receives the finished report.
+	relay := newRelay(t)
+	relay.Async = true
+	relay.PollInterval = 2 * time.Millisecond
+	acq := testAcquisition(t)
+
+	deviceEnd, phoneEnd := net.Pipe()
+	defer deviceEnd.Close()
+	defer phoneEnd.Close()
+
+	phoneCh := make(chan error, 1)
+	go func() {
+		_, err := PhoneServe(context.Background(), phoneEnd, relay)
+		phoneCh <- err
+	}()
+	report, err := DeviceSend(deviceEnd, acq, nil)
+	if err != nil {
+		t.Fatalf("DeviceSend: %v", err)
+	}
+	if perr := <-phoneCh; perr != nil {
+		t.Fatalf("PhoneServe: %v", perr)
+	}
+	if report.PeakCount == 0 {
+		t.Fatal("empty report over the async link")
+	}
+}
+
+func TestPhoneServeAsyncPropagatesJobFailure(t *testing.T) {
+	// Stub cloud: accepts the async submission, then reports the job as
+	// failed — exactly the state a poller sees when a restarted service
+	// recovers a job whose analysis had failed. The device must receive
+	// the failure (with its error code) over the accessory link instead of
+	// hanging on a report that will never come.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/analyses", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-1","status":"queued"}`))
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"job-1","status":"failed","error_code":"unprocessable","error":"no peaks detected"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	relay := &phone.Relay{
+		Client:       &cloud.Client{BaseURL: ts.URL},
+		Uplink:       phone.Default4G(),
+		Async:        true,
+		PollInterval: time.Millisecond,
+	}
+	acq := testAcquisition(t)
+
+	deviceEnd, phoneEnd := net.Pipe()
+	defer deviceEnd.Close()
+	defer phoneEnd.Close()
+
+	phoneCh := make(chan error, 1)
+	go func() {
+		_, err := PhoneServe(context.Background(), phoneEnd, relay)
+		phoneCh <- err
+	}()
+	_, err := DeviceSend(deviceEnd, acq, nil)
+	if err == nil {
+		t.Fatal("device should see the job failure")
+	}
+	if !strings.Contains(err.Error(), "unprocessable") {
+		t.Fatalf("device error lost the job's error code: %v", err)
+	}
+	perr := <-phoneCh
+	if !errors.Is(perr, cloud.ErrUnprocessable) {
+		t.Fatalf("phone error = %v, want cloud.ErrUnprocessable", perr)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"medsen/internal/beads"
 	"medsen/internal/classify"
@@ -103,7 +104,17 @@ func AuthAccuracy(o Options) (AuthAccuracyResult, error) {
 		return auth.UserID, auth.Authenticated, nil
 	}
 
-	for name, id := range users {
+	// Iterate users in enrollment order: every login consumes draws from
+	// the shared experiment RNG, so randomized map order would hand each
+	// user a different noise realization run to run and make the accept
+	// counts nondeterministic.
+	names := make([]string, 0, len(users))
+	for name := range users {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		id := users[name]
 		for l := 0; l < loginsPerUser; l++ {
 			mixed, err := alphabet.MixedSample(id, blood)
 			if err != nil {

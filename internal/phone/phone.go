@@ -130,18 +130,27 @@ func (r *Relay) Upload(ctx context.Context, acq lockin.Acquisition) (cloud.Submi
 		return cloud.SubmitResponse{}, stats, fmt.Errorf("phone: uplink: %w", err)
 	}
 
-	var sub cloud.SubmitResponse
-	if r.Async {
-		r.progress("submitted async; polling for the analysis result")
-		sub, err = r.Client.SubmitAndPoll(ctx, payload, r.PollInterval)
-	} else {
-		sub, err = r.Client.SubmitCompressed(ctx, payload)
-	}
+	sub, err := r.Submit(ctx, payload)
 	if err != nil {
 		return cloud.SubmitResponse{}, stats, err
 	}
 	r.progress("analysis %s complete: %d peaks", sub.ID, sub.Report.PeakCount)
 	return sub, stats, nil
+}
+
+// Submit ships an already compressed payload to the cloud using the relay's
+// configured mode: the synchronous upload, or the async job API with
+// polling (which rides out queue-full backpressure and — because accepted
+// jobs are journaled server-side — an analysis-service restart mid-poll).
+func (r *Relay) Submit(ctx context.Context, payload []byte) (cloud.SubmitResponse, error) {
+	if r.Client == nil {
+		return cloud.SubmitResponse{}, errors.New("phone: relay has no cloud client")
+	}
+	if r.Async {
+		r.progress("submitted async; polling for the analysis result")
+		return r.Client.SubmitAndPoll(ctx, payload, r.PollInterval)
+	}
+	return r.Client.SubmitCompressed(ctx, payload)
 }
 
 // Analyze implements the controller's Analyzer port: it relays the

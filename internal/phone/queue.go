@@ -143,7 +143,7 @@ func (r *Relay) UploadOrQueue(ctx context.Context, acq lockin.Acquisition, q *Of
 		return cloud.SubmitResponse{}, false, err
 	}
 	if r.Client != nil {
-		sub, err = r.Client.SubmitCompressed(ctx, payload)
+		sub, err = r.Submit(ctx, payload)
 		if err == nil {
 			return sub, false, nil
 		}
