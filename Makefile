@@ -28,6 +28,7 @@ bench:
 # Short fuzz passes over every wire-format parser.
 fuzz:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/accessory
+	$(GO) test -fuzz FuzzReliableReceiveResync -fuzztime 30s ./internal/accessory
 	$(GO) test -fuzz FuzzDecodeAcquisition -fuzztime 30s ./internal/csvio
 	$(GO) test -fuzz FuzzUnmarshalSchedule -fuzztime 30s ./internal/cipher
 	$(GO) test -fuzz FuzzImportShared -fuzztime 30s ./internal/cipher

@@ -12,6 +12,7 @@
 //
 //	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
+//	             [-job-timeout D] [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 package main
 
 import (
@@ -41,6 +42,10 @@ func run() int {
 	jobTTL := flag.Duration("job-ttl", 0, "terminal async job retention (0 = default 1h, negative = keep until count bound)")
 	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "retained terminal async job records (0 = default 1024, negative = unbounded)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job analysis execution deadline; over-budget jobs fail terminally with deadline_exceeded (0 = none)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration reading an entire request, including the upload body")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration writing a response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before the connection is closed")
 	flag.Parse()
 
 	svc, err := cloud.NewService(cloud.ServiceConfig{
@@ -49,20 +54,27 @@ func run() int {
 		StateDir:        *stateDir,
 		JobTTL:          *jobTTL,
 		MaxTerminalJobs: *maxTerminalJobs,
+		JobTimeout:      *jobTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
 		return 1
 	}
+	// Full server timeouts, not just header reads: a stalled or malicious
+	// client must not pin a connection (and its handler goroutine) forever.
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	log.Printf("medsen-cloud: analysis service listening on %s", *addr)
 	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses[?async=1], GET /api/v1/analyses, " +
 		"GET /api/v1/analyses/{id}, GET /api/v1/jobs, GET /api/v1/jobs/{id}, " +
-		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses")
+		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses, " +
+		"GET /healthz, GET /readyz")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -2,6 +2,8 @@ package accessory
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"testing"
 )
 
@@ -30,5 +32,53 @@ func FuzzReadFrame(f *testing.F) {
 		if !bytes.HasPrefix(data, re.Bytes()) {
 			t.Fatal("re-encoded frame does not match consumed bytes")
 		}
+	})
+}
+
+// fuzzSink feeds the fuzzer's bytes as the receive stream and swallows the
+// receiver's acks/nacks: the remote never answers, so the receiver must
+// terminate on its own when the input runs out.
+type fuzzSink struct {
+	io.Reader
+}
+
+func (fuzzSink) Write(p []byte) (int, error) { return len(p), nil }
+
+// reliableStreamSeed encodes a well-formed one-chunk reliable transfer,
+// giving coverage a valid path to mutate from.
+func reliableStreamSeed(payload []byte) []byte {
+	var buf bytes.Buffer
+	chunk := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(chunk[:4], 0)
+	copy(chunk[4:], payload)
+	_ = WriteFrame(&buf, Frame{Type: FrameDataSeq, Payload: chunk})
+	var end [4]byte
+	binary.BigEndian.PutUint32(end[:], 1)
+	_ = WriteFrame(&buf, Frame{Type: FrameEndSeq, Payload: end[:]})
+	return buf.Bytes()
+}
+
+// FuzzReliableReceiveResync hardens the ARQ receiver's resynchronization
+// path: arbitrary bytes on the wire — torn frames, fake magic pairs inside
+// garbage, corrupted sequence numbers — must never panic the receiver, and
+// it must always terminate once the stream is exhausted (the magic scan has
+// no answer-back, so EOF is the only exit).
+func FuzzReliableReceiveResync(f *testing.F) {
+	f.Add(reliableStreamSeed([]byte("cyto-coded measurement")))
+	// Garbage before a valid stream exercises the magic scan.
+	f.Add(append(bytes.Repeat([]byte{0x5A, frameMagic0}, 9), reliableStreamSeed([]byte("x"))...))
+	// A valid stream with its first magic byte corrupted desynchronizes
+	// framing immediately.
+	corrupted := reliableStreamSeed([]byte("y"))
+	corrupted[0] ^= 0xFF
+	f.Add(corrupted)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{frameMagic0, frameMagic1}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := &Conn{rw: fuzzSink{bytes.NewReader(data)}}
+		// The receiver may reassemble data or report any error; the
+		// invariant is that it returns at all without panicking.
+		_, _, _ = c.ReceiveDataReliable(nil)
 	})
 }

@@ -32,6 +32,11 @@ type Client struct {
 	// the capture twice; the phone's OfflineQueue owns that failure
 	// mode instead.
 	Retry *RetryPolicy
+	// AttemptTimeout bounds each individual HTTP attempt (0 = none). A
+	// stalled connection then fails that one attempt — and the retry
+	// policy gets a chance — instead of pinning the caller until its
+	// context expires.
+	AttemptTimeout time.Duration
 }
 
 // RetryPolicy bounds safe-request retries.
@@ -46,6 +51,12 @@ type RetryPolicy struct {
 	// top, de-synchronizing retries across a device fleet. 0 applies the
 	// default of 0.2; a negative value disables jitter entirely.
 	Jitter float64
+	// MaxElapsed caps the total wall-clock time spent retrying (0 = no
+	// cap). Once the budget is spent, the loop stops before the next
+	// backoff sleep and returns the last error. SubmitAndPoll applies the
+	// same budget to its submit-retry and error-poll loops, so a service
+	// that never recovers cannot spin a caller forever.
+	MaxElapsed time.Duration
 }
 
 // backoff returns the sleep before try attempt+1 (attempt ≥ 1 completed
@@ -109,10 +120,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	if c.Retry != nil && method == http.MethodGet && c.Retry.MaxAttempts > 1 {
 		attempts = c.Retry.MaxAttempts
 	}
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			delay := c.Retry.backoff(attempt, rand.Float64)
+			if c.Retry.MaxElapsed > 0 && time.Since(start)+delay > c.Retry.MaxElapsed {
+				return fmt.Errorf("cloud: retry budget %s exhausted: %w", c.Retry.MaxElapsed, lastErr)
+			}
 			if err := sleepCtx(ctx, delay); err != nil {
 				return errors.Join(err, lastErr)
 			}
@@ -131,6 +146,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 
 // doOnce performs one request and reports whether a failure is retryable.
 func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType string, out any, meta *respMeta) (retryable bool, err error) {
+	if c.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		defer cancel()
+	}
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -169,7 +189,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return false, fmt.Errorf("cloud: decoding %s %s response: %w", method, path, err)
+		// A 2xx whose body won't decode is almost always a torn connection
+		// (truncated body), not a malformed server: worth retrying.
+		return true, fmt.Errorf("cloud: decoding %s %s response: %w", method, path, err)
 	}
 	return false, nil
 }
@@ -214,12 +236,19 @@ const defaultPollInterval = 250 * time.Millisecond
 // job until it completes, returning the same SubmitResponse the synchronous
 // path would. Queue-full rejections are retried after the server's
 // Retry-After hint; cancellation is honored at every wait. interval ≤ 0
-// selects the default 250 ms.
+// selects the default 250 ms. When Retry.MaxElapsed is set, the same budget
+// bounds the submit-retry loop and any run of consecutive failed polls, so a
+// service that never recovers cannot hold the caller forever.
 func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval time.Duration) (SubmitResponse, error) {
 	if interval <= 0 {
 		interval = defaultPollInterval
 	}
+	var budget time.Duration
+	if c.Retry != nil {
+		budget = c.Retry.MaxElapsed
+	}
 	var job Job
+	submitStart := time.Now()
 	for {
 		j, err := c.SubmitCompressedAsync(ctx, payload)
 		if err == nil {
@@ -232,6 +261,9 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrUnavailable) {
 			return SubmitResponse{}, err
 		}
+		if budget > 0 && time.Since(submitStart) > budget {
+			return SubmitResponse{}, fmt.Errorf("cloud: retry budget %s exhausted: %w", budget, err)
+		}
 		wait := interval
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
@@ -241,6 +273,7 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 			return SubmitResponse{}, errors.Join(serr, err)
 		}
 	}
+	lastGoodPoll := time.Now()
 	for !job.Status.Terminal() {
 		if err := sleepCtx(ctx, interval); err != nil {
 			return SubmitResponse{}, err
@@ -258,8 +291,12 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 			if ctx.Err() != nil {
 				return SubmitResponse{}, errors.Join(ctx.Err(), err)
 			}
+			if budget > 0 && time.Since(lastGoodPoll) > budget {
+				return SubmitResponse{}, fmt.Errorf("cloud: retry budget %s exhausted polling job %s: %w", budget, job.ID, err)
+			}
 			continue
 		}
+		lastGoodPoll = time.Now()
 		job = j
 	}
 	if job.Status == JobFailed {

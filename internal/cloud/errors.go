@@ -16,14 +16,15 @@ import (
 
 // Wire error codes of the v1 API.
 const (
-	CodeInvalidRequest  = "invalid_request"
-	CodeNotFound        = "not_found"
-	CodeConflict        = "conflict"
-	CodePayloadTooLarge = "payload_too_large"
-	CodeUnprocessable   = "unprocessable"
-	CodeQueueFull       = "queue_full"
-	CodeUnavailable     = "unavailable"
-	CodeInternal        = "internal"
+	CodeInvalidRequest   = "invalid_request"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeUnprocessable    = "unprocessable"
+	CodeQueueFull        = "queue_full"
+	CodeUnavailable      = "unavailable"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
 )
 
 // Sentinel errors matched (via errors.Is) by *APIError values the client
@@ -46,20 +47,24 @@ var (
 	// ErrUnavailable is a submission rejected because the service is
 	// shutting down; another instance (or the restarted one) will serve it.
 	ErrUnavailable = errors.New("cloud: service unavailable")
+	// ErrDeadlineExceeded is an async job terminated because its analysis
+	// ran past the service's per-job execution deadline.
+	ErrDeadlineExceeded = errors.New("cloud: job deadline exceeded")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
 
 // codeSentinels maps wire codes to their errors.Is sentinels.
 var codeSentinels = map[string]error{
-	CodeInvalidRequest:  ErrInvalidRequest,
-	CodeNotFound:        ErrNotFound,
-	CodeConflict:        ErrConflict,
-	CodePayloadTooLarge: ErrPayloadTooLarge,
-	CodeUnprocessable:   ErrUnprocessable,
-	CodeQueueFull:       ErrQueueFull,
-	CodeUnavailable:     ErrUnavailable,
-	CodeInternal:        ErrInternal,
+	CodeInvalidRequest:   ErrInvalidRequest,
+	CodeNotFound:         ErrNotFound,
+	CodeConflict:         ErrConflict,
+	CodePayloadTooLarge:  ErrPayloadTooLarge,
+	CodeUnprocessable:    ErrUnprocessable,
+	CodeQueueFull:        ErrQueueFull,
+	CodeUnavailable:      ErrUnavailable,
+	CodeDeadlineExceeded: ErrDeadlineExceeded,
+	CodeInternal:         ErrInternal,
 }
 
 // errorEnvelope is the wire form of every v1 error response.

@@ -8,8 +8,6 @@ import (
 	"sort"
 	"strconv"
 	"time"
-
-	"medsen/internal/csvio"
 )
 
 // Async analysis jobs. A 3-hour, 8-carrier capture takes real CPU time to
@@ -75,6 +73,10 @@ type Job struct {
 type queuedJob struct {
 	Job
 	payload []byte
+	// startedAt is when a worker picked the job up; the execution
+	// deadline — including the recovered-across-a-restart case — is
+	// measured from it.
+	startedAt time.Time
 	// doneAt is when the job reached a terminal status; retention evicts
 	// terminal records doneAt+TTL after it.
 	doneAt time.Time
@@ -193,7 +195,11 @@ func (s *Service) enqueueJob(payload []byte) (Job, bool, error) {
 }
 
 // runJob executes one queued analysis: decompress, analyze, store — the
-// same work the synchronous handler does inline.
+// same work the synchronous handler does inline, with two layers of armor a
+// worker needs: panics become terminal "internal" failures (the pool and
+// the service survive a poisoned capture), and the execution deadline turns
+// a runaway analysis into a terminal "deadline_exceeded" failure instead of
+// a silently pinned worker slot.
 func (s *Service) runJob(id string) {
 	s.mu.Lock()
 	qj, ok := s.jobs[id]
@@ -202,6 +208,7 @@ func (s *Service) runJob(id string) {
 		return
 	}
 	qj.Status = JobRunning
+	qj.startedAt = s.now()
 	payload := qj.payload
 	qj.payload = nil
 	// Journal the transition; the payload stays on disk until the job is
@@ -223,18 +230,43 @@ func (s *Service) runJob(id string) {
 		}
 	}
 
-	acq, err := csvio.DecompressAcquisition(payload)
-	if err != nil {
-		s.failJob(qj, CodeInvalidRequest, err)
-		return
+	type analysisOutcome struct {
+		report Report
+		code   string
+		err    error
 	}
-	report, err := Analyze(acq, s.cfg)
-	if err != nil {
-		s.failJob(qj, CodeUnprocessable, err)
+	outCh := make(chan analysisOutcome, 1)
+	go func() {
+		report, code, err := s.runAnalysis(payload)
+		outCh <- analysisOutcome{report, code, err}
+	}()
+	var out analysisOutcome
+	if s.jobTimeout > 0 {
+		timer := time.NewTimer(s.jobTimeout)
+		defer timer.Stop()
+		select {
+		case out = <-outCh:
+		case <-timer.C:
+			s.failJob(qj, CodeDeadlineExceeded,
+				fmt.Errorf("analysis exceeded the %s execution deadline", s.jobTimeout))
+			// The runaway analysis keeps its goroutine until it returns
+			// on its own; the terminal-status guard drops its outcome.
+			return
+		}
+	} else {
+		out = <-outCh
+	}
+	if out.err != nil {
+		s.failJob(qj, out.code, out.err)
 		return
 	}
 	s.mu.Lock()
-	analysisID, err := s.storeReportLocked(report)
+	if qj.Status.Terminal() {
+		// The deadline beat us while the store path waited for the lock.
+		s.mu.Unlock()
+		return
+	}
+	analysisID, err := s.storeReportLocked(out.report)
 	if err == nil {
 		qj.Status = JobDone
 		qj.AnalysisID = analysisID
@@ -250,8 +282,14 @@ func (s *Service) runJob(id string) {
 }
 
 // failJob marks a job failed, journals the outcome, and counts the error.
+// An already-terminal job is left alone: a late analysis outcome must not
+// overwrite the deadline failure that preceded it.
 func (s *Service) failJob(qj *queuedJob, code string, err error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if qj.Status.Terminal() {
+		return
+	}
 	qj.Status = JobFailed
 	qj.ErrorCode = code
 	qj.Error = err.Error()
@@ -261,7 +299,6 @@ func (s *Service) failJob(qj *queuedJob, code string, err error) {
 	s.metrics.UploadErrors++
 	s.journalJobLocked(qj, nil)
 	s.evictJobsLocked()
-	s.mu.Unlock()
 }
 
 // evictJobsLocked drops terminal job records past the TTL or in excess of

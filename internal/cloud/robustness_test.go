@@ -1,0 +1,287 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"medsen/internal/faultinject"
+	"medsen/internal/lockin"
+)
+
+// newRobustServer builds a service with the given config plus an HTTP front.
+func newRobustServer(t *testing.T, cfg ServiceConfig) (*Service, *httptest.Server, *Client) {
+	t.Helper()
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	return svc, ts, &Client{BaseURL: ts.URL}
+}
+
+// TestWorkerPanicRecovery: a panicking analysis must fail its own job with
+// code "internal" and leave the worker pool and the service serving.
+func TestWorkerPanicRecovery(t *testing.T) {
+	svc, _, client := newRobustServer(t, ServiceConfig{Workers: 1})
+	_, payload := testCapture(t, 11, 10)
+	svc.analyze = func(lockin.Acquisition, AnalysisConfig) (Report, error) {
+		panic("poisoned capture")
+	}
+
+	ctx := context.Background()
+	job, err := client.SubmitCompressedAsync(ctx, payload)
+	if err != nil {
+		t.Fatalf("SubmitCompressedAsync: %v", err)
+	}
+	done := waitJob(t, client, job.ID)
+	if done.Status != JobFailed || done.ErrorCode != CodeInternal {
+		t.Fatalf("job = %+v, want failed/internal", done)
+	}
+	if !strings.Contains(done.Error, "panicked") {
+		t.Fatalf("job error %q does not mention the panic", done.Error)
+	}
+
+	// The sole worker must have survived: a healthy analysis completes.
+	svc.analyze = Analyze
+	job2, err := client.SubmitCompressedAsync(ctx, payload)
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if done := waitJob(t, client, job2.ID); done.Status != JobDone {
+		t.Fatalf("post-panic job = %+v, want done", done)
+	}
+}
+
+// TestSyncSubmitPanicRecovery: the synchronous path converts a panic into a
+// 500 "internal" envelope instead of killing the connection.
+func TestSyncSubmitPanicRecovery(t *testing.T) {
+	svc, _, client := newRobustServer(t, ServiceConfig{})
+	_, payload := testCapture(t, 12, 10)
+	svc.analyze = func(lockin.Acquisition, AnalysisConfig) (Report, error) {
+		panic("poisoned capture")
+	}
+	_, err := client.SubmitCompressed(context.Background(), payload)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("sync submit: %v, want ErrInternal", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("sync submit error %v, want HTTP 500 envelope", err)
+	}
+}
+
+// TestJobDeadlineLive: an analysis running past -job-timeout fails
+// terminally with "deadline_exceeded", and its late outcome is dropped.
+func TestJobDeadlineLive(t *testing.T) {
+	svc, _, client := newRobustServer(t, ServiceConfig{Workers: 1, JobTimeout: 50 * time.Millisecond})
+	_, payload := testCapture(t, 13, 10)
+	finished := make(chan struct{})
+	svc.analyze = func(lockin.Acquisition, AnalysisConfig) (Report, error) {
+		time.Sleep(300 * time.Millisecond)
+		close(finished)
+		return Report{PeakCount: 99}, nil
+	}
+
+	ctx := context.Background()
+	job, err := client.SubmitCompressedAsync(ctx, payload)
+	if err != nil {
+		t.Fatalf("SubmitCompressedAsync: %v", err)
+	}
+	done := waitJob(t, client, job.ID)
+	if done.Status != JobFailed || done.ErrorCode != CodeDeadlineExceeded {
+		t.Fatalf("job = %+v, want failed/deadline_exceeded", done)
+	}
+
+	// Let the runaway analysis finish; its outcome must not overwrite the
+	// deadline failure or store a report.
+	<-finished
+	time.Sleep(20 * time.Millisecond)
+	after, err := client.GetJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Status != JobFailed || after.ErrorCode != CodeDeadlineExceeded || after.AnalysisID != "" {
+		t.Fatalf("late outcome overwrote the deadline failure: %+v", after)
+	}
+	if n := svc.Snapshot().Uploads; n != 0 {
+		t.Fatalf("deadline-exceeded job stored %d analyses, want 0", n)
+	}
+}
+
+// writeRunningJobDoc journals a hand-written "running" job document, as a
+// crashed process would have left behind.
+func writeRunningJobDoc(t *testing.T, dir, id string, startedAt time.Time, payload []byte) {
+	t.Helper()
+	doc := persistedJob{
+		ID:            id,
+		Status:        JobRunning,
+		StartedAtUnix: startedAt.Unix(),
+		Payload:       payload,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".json"), data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobDeadlineAcrossRestart: a journaled "running" job older than the
+// execution deadline recovers as terminal failed/deadline_exceeded — it
+// would only time out again — while a recent one re-runs to completion.
+func TestJobDeadlineAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, payload := testCapture(t, 14, 10)
+	now := time.Now()
+	writeRunningJobDoc(t, dir, "job-1", now.Add(-time.Hour), payload)
+	writeRunningJobDoc(t, dir, "job-2", now, payload)
+
+	_, _, client := newRobustServer(t, ServiceConfig{StateDir: dir, JobTimeout: time.Minute})
+	ctx := context.Background()
+
+	stale, err := client.GetJob(ctx, "job-1")
+	if err != nil {
+		t.Fatalf("GetJob(job-1): %v", err)
+	}
+	if stale.Status != JobFailed || stale.ErrorCode != CodeDeadlineExceeded {
+		t.Fatalf("stale running job recovered as %+v, want failed/deadline_exceeded", stale)
+	}
+	if fresh := waitJob(t, client, "job-2"); fresh.Status != JobDone {
+		t.Fatalf("recent running job = %+v, want done", fresh)
+	}
+
+	// The recovered failure is durable: a further restart sees it terminal.
+	_, _, client2 := newRobustServer(t, ServiceConfig{StateDir: dir, JobTimeout: time.Minute})
+	again, err := client2.GetJob(ctx, "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != JobFailed || again.ErrorCode != CodeDeadlineExceeded {
+		t.Fatalf("recovered failure not durable: %+v", again)
+	}
+}
+
+// getReady fetches /readyz and decodes its body.
+func getReady(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyz covers the readiness probe: ready when serving, not ready while
+// draining, not ready when the journal directory stops accepting writes.
+func TestReadyz(t *testing.T) {
+	svc, ts, _ := newRobustServer(t, ServiceConfig{StateDir: t.TempDir()})
+	if code, body := getReady(t, ts.URL); code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("fresh service readyz = %d %v", code, body)
+	}
+	svc.Close()
+	code, body := getReady(t, ts.URL)
+	if code != http.StatusServiceUnavailable || body["reason"] != "draining" {
+		t.Fatalf("draining readyz = %d %v", code, body)
+	}
+}
+
+func TestReadyzJournalUnwritable(t *testing.T) {
+	// Every WriteFile fails: the probe must report the journal unwritable.
+	badFS := faultinject.NewFS(nil, faultinject.FSConfig{Seed: 1, WriteErrRate: 1})
+	_, ts, _ := newRobustServer(t, ServiceConfig{StateDir: t.TempDir(), FS: badFS})
+	code, body := getReady(t, ts.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d %v, want 503", code, body)
+	}
+	reason, _ := body["reason"].(string)
+	if !strings.Contains(reason, "journal unwritable") {
+		t.Fatalf("readyz reason %q does not mention the journal", reason)
+	}
+}
+
+// TestClientAttemptTimeout: a stalled server fails one attempt within
+// AttemptTimeout instead of pinning the caller.
+func TestClientAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL, AttemptTimeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.GetReport(context.Background(), "an-1")
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("attempt took %v despite a 50ms AttemptTimeout", elapsed)
+	}
+}
+
+// TestClientRetryBudget: MaxElapsed caps the GET retry loop even when
+// MaxAttempts would allow far more tries.
+func TestClientRetryBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeError(w, http.StatusInternalServerError, CodeInternal, errors.New("always down"))
+	}))
+	defer ts.Close()
+	client := &Client{
+		BaseURL: ts.URL,
+		Retry: &RetryPolicy{
+			MaxAttempts: 1000,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			MaxElapsed:  150 * time.Millisecond,
+		},
+	}
+	start := time.Now()
+	_, err := client.GetReport(context.Background(), "an-1")
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want a retry-budget error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v despite a 150ms budget", elapsed)
+	}
+}
+
+// TestSubmitAndPollBudget: a service that answers every async submit with a
+// transient rejection cannot spin SubmitAndPoll forever once MaxElapsed is
+// set.
+func TestSubmitAndPollBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, errors.New("draining forever"))
+	}))
+	defer ts.Close()
+	client := &Client{
+		BaseURL: ts.URL,
+		Retry:   &RetryPolicy{MaxAttempts: 1, MaxElapsed: 150 * time.Millisecond},
+	}
+	start := time.Now()
+	_, err := client.SubmitAndPoll(context.Background(), []byte("zip"), 20*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want a retry-budget error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("SubmitAndPoll ran %v despite a 150ms budget", elapsed)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -15,6 +17,8 @@ import (
 	"medsen/internal/beads"
 	"medsen/internal/classify"
 	"medsen/internal/csvio"
+	"medsen/internal/faultinject"
+	"medsen/internal/lockin"
 	"medsen/internal/microfluidic"
 )
 
@@ -35,6 +39,14 @@ type Service struct {
 	stateDir     string
 	workers      int
 	queueDepth   int
+	// fs is the state-directory filesystem seam (OSFS in production,
+	// faultinject.FaultyFS in chaos tests).
+	fs faultinject.FS
+	// jobTimeout bounds one async analysis execution (0 = none).
+	jobTimeout time.Duration
+	// analyze runs the DSP pipeline; tests override it to inject panics
+	// and stalls.
+	analyze func(lockin.Acquisition, AnalysisConfig) (Report, error)
 
 	mu       sync.RWMutex
 	analyses map[string]*storedAnalysis
@@ -96,6 +108,14 @@ type ServiceConfig struct {
 	// MaxTerminalJobs caps retained terminal job records; the oldest are
 	// evicted beyond it (0 → 1024, negative → no cap).
 	MaxTerminalJobs int
+	// JobTimeout bounds one async analysis execution: a job still running
+	// past it fails terminally with code "deadline_exceeded", and a
+	// journaled running job older than the deadline is recovered as
+	// failed instead of re-run (0 → no deadline).
+	JobTimeout time.Duration
+	// FS abstracts the state-directory filesystem; nil uses the real OS
+	// filesystem. Chaos tests plug a faultinject.FaultyFS here.
+	FS faultinject.FS
 }
 
 // NewService builds the analysis service.
@@ -138,6 +158,9 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.MaxTerminalJobs == 0 {
 		cfg.MaxTerminalJobs = defaultMaxTerminalJobs
 	}
+	if cfg.FS == nil {
+		cfg.FS = faultinject.OSFS{}
+	}
 	s := &Service{
 		cfg:             cfg.Analysis,
 		model:           cfg.Model,
@@ -146,9 +169,12 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		stateDir:        cfg.StateDir,
 		workers:         cfg.Workers,
 		queueDepth:      cfg.QueueDepth,
+		fs:              cfg.FS,
+		jobTimeout:      cfg.JobTimeout,
 		jobTTL:          cfg.JobTTL,
 		maxTerminalJobs: cfg.MaxTerminalJobs,
 		now:             time.Now,
+		analyze:         Analyze,
 		analyses:        make(map[string]*storedAnalysis),
 		byUser:          make(map[string][]string),
 		jobs:            make(map[string]*queuedJob),
@@ -179,6 +205,7 @@ func (s *Service) Registry() *beads.Registry { return s.registry }
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/analyses", s.handleListAnalyses)
 	mux.HandleFunc("POST /api/v1/analyses", s.handleSubmit)
@@ -209,6 +236,28 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the readiness probe: /healthz answers "the process is
+// alive", /readyz answers "send this instance traffic". Not ready while
+// draining (Close/Shutdown ran — submissions would bounce with 503 anyway)
+// or while the journal directory is unwritable (an accepted upload could
+// not be made durable).
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.jobsClosed
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	if err := s.probeStateDir(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": fmt.Sprintf("journal unwritable: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
 // SubmitResponse is returned by the upload endpoint.
 type SubmitResponse struct {
 	ID     string `json:"id"`
@@ -234,16 +283,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad async parameter %q", async))
 		return
 	}
-	acq, err := csvio.DecompressAcquisition(body)
+	report, code, err := s.runAnalysis(body)
 	if err != nil {
 		s.countUploadError()
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
-		return
-	}
-	report, err := Analyze(acq, s.cfg)
-	if err != nil {
-		s.countUploadError()
-		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
+		status := http.StatusInternalServerError
+		switch code {
+		case CodeInvalidRequest:
+			status = http.StatusBadRequest
+		case CodeUnprocessable:
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, code, err)
 		return
 	}
 	s.mu.Lock()
@@ -255,6 +305,49 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Report: report})
 }
+
+// runAnalysis decompresses and analyzes one upload, converting panics into
+// internal errors: a poisoned capture must fail its own request (or job),
+// never take down the serving goroutine or a pool worker. On failure the
+// returned code is the wire error code for the outcome.
+func (s *Service) runAnalysis(payload []byte) (report Report, code string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			report, code, err = Report{}, CodeInternal, fmt.Errorf("analysis panicked: %v", r)
+		}
+	}()
+	acq, err := csvio.DecompressAcquisition(payload)
+	if err != nil {
+		return Report{}, CodeInvalidRequest, err
+	}
+	report, err = s.analyze(acq, s.cfg)
+	if err != nil {
+		return Report{}, CodeUnprocessable, err
+	}
+	return report, "", nil
+}
+
+// probeStateDir verifies the journal directory accepts writes by committing
+// and removing a probe file. Without a state dir the service is always
+// ready.
+func (s *Service) probeStateDir() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	probe := filepath.Join(s.stateDir, readyProbeName)
+	if err := s.fs.WriteFile(probe, []byte("ok"), 0o600); err != nil {
+		return err
+	}
+	// Concurrent probes share the file; losing the removal race is fine.
+	if err := s.fs.Remove(probe); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// readyProbeName is the /readyz probe file; the .tmp suffix keeps it out of
+// the journal loaders' document scans.
+const readyProbeName = ".readyz-probe.tmp"
 
 // storeReportLocked assigns an analysis id, stores and persists the report,
 // and counts the upload. Persistence happens before any in-memory commit: a

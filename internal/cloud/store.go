@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -50,10 +49,10 @@ func (s *Service) writeDoc(id, path string, doc any) error {
 		return fmt.Errorf("cloud: encoding %s: %w", id, err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o600); err != nil {
 		return fmt.Errorf("cloud: writing %s: %w", id, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("cloud: committing %s: %w", id, err)
 	}
 	return nil
@@ -69,6 +68,10 @@ type persistedJob struct {
 	AnalysisID string    `json:"analysis_id,omitempty"`
 	ErrorCode  string    `json:"error_code,omitempty"`
 	Error      string    `json:"error,omitempty"`
+	// StartedAtUnix is when a worker picked the job up; recovery compares
+	// it against the execution deadline so a job that was already over
+	// budget when the process died comes back failed, not re-queued.
+	StartedAtUnix int64 `json:"started_at_unix,omitempty"`
 	// DoneAtUnix is the terminal-transition time, the retention clock.
 	DoneAtUnix int64  `json:"done_at_unix,omitempty"`
 	Payload    []byte `json:"payload,omitempty"`
@@ -97,6 +100,9 @@ func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
 		ErrorCode:  qj.ErrorCode,
 		Error:      qj.Error,
 	}
+	if !qj.startedAt.IsZero() {
+		doc.StartedAtUnix = qj.startedAt.Unix()
+	}
 	if !qj.doneAt.IsZero() {
 		doc.DoneAtUnix = qj.doneAt.Unix()
 	}
@@ -122,7 +128,7 @@ func (s *Service) removeJobFile(id string) {
 	if s.stateDir == "" {
 		return
 	}
-	_ = os.Remove(s.jobFileName(id))
+	_ = s.fs.Remove(s.jobFileName(id))
 }
 
 // loadJobs restores the job journal: terminal records come back for polling
@@ -134,7 +140,7 @@ func (s *Service) loadJobs() (pending []string, err error) {
 	if s.stateDir == "" {
 		return nil, nil
 	}
-	entries, err := os.ReadDir(s.stateDir)
+	entries, err := s.fs.ReadDir(s.stateDir)
 	if err != nil {
 		return nil, fmt.Errorf("cloud: reading state dir: %w", err)
 	}
@@ -143,7 +149,7 @@ func (s *Service) loadJobs() (pending []string, err error) {
 		if e.IsDir() || !strings.HasPrefix(name, jobFilePrefix) || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.stateDir, name))
+		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
 		if err != nil {
 			return nil, fmt.Errorf("cloud: reading %s: %w", name, err)
 		}
@@ -161,12 +167,25 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			ErrorCode:  doc.ErrorCode,
 			Error:      doc.Error,
 		}}
-		if doc.Status.Terminal() {
+		switch {
+		case doc.Status.Terminal():
 			qj.doneAt = time.Unix(doc.DoneAtUnix, 0)
 			if doc.DoneAtUnix == 0 {
 				qj.doneAt = s.now()
 			}
-		} else {
+		case s.jobTimeout > 0 && doc.Status == JobRunning && doc.StartedAtUnix > 0 &&
+			s.now().Sub(time.Unix(doc.StartedAtUnix, 0)) > s.jobTimeout:
+			// The job was already past its execution deadline when the
+			// process died; re-running it would just time out again, so it
+			// recovers straight to terminal failure.
+			qj.Status = JobFailed
+			qj.ErrorCode = CodeDeadlineExceeded
+			qj.Error = fmt.Sprintf("analysis exceeded the %s execution deadline", s.jobTimeout)
+			qj.startedAt = time.Unix(doc.StartedAtUnix, 0)
+			qj.doneAt = s.now()
+			s.journalJobLocked(qj, nil)
+			s.metrics.JobsFailed++
+		default:
 			qj.Status = JobQueued
 			qj.payload = doc.Payload
 			pending = append(pending, doc.ID)
@@ -192,10 +211,10 @@ func (s *Service) loadState() error {
 	if s.stateDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(s.stateDir, 0o700); err != nil {
+	if err := s.fs.MkdirAll(s.stateDir, 0o700); err != nil {
 		return fmt.Errorf("cloud: creating state dir: %w", err)
 	}
-	entries, err := os.ReadDir(s.stateDir)
+	entries, err := s.fs.ReadDir(s.stateDir)
 	if err != nil {
 		return fmt.Errorf("cloud: reading state dir: %w", err)
 	}
@@ -204,7 +223,7 @@ func (s *Service) loadState() error {
 		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, jobFilePrefix) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.stateDir, name))
+		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
 		if err != nil {
 			return fmt.Errorf("cloud: reading %s: %w", name, err)
 		}

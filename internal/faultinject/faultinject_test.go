@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mangleThrough writes data through a fresh faulty wrapper in chunks of
+// chunkSize and returns what came out the far side.
+func mangleThrough(cfg RWConfig, data []byte, chunkSize int) []byte {
+	var out bytes.Buffer
+	f := NewReadWriter(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(nil), &out}, cfg)
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := f.Write(data[off:end]); err != nil {
+			break
+		}
+	}
+	return out.Bytes()
+}
+
+// TestReadWriterDeterministic is the property the whole harness rests on:
+// the same seed and byte stream produce the same mangled output, regardless
+// of how the stream is chunked into Write calls.
+func TestReadWriterDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte("medsen capture bytes "), 100)
+	cfg := RWConfig{Seed: 42, BitFlipRate: 0.05, DropRate: 0.02}
+	a := mangleThrough(cfg, data, 7)
+	b := mangleThrough(cfg, data, 256)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed and stream mangled differently across chunkings")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("no faults injected at 5% flip rate over 2100 bytes")
+	}
+	c := mangleThrough(RWConfig{Seed: 43, BitFlipRate: 0.05, DropRate: 0.02}, data, 7)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced an identical fault schedule")
+	}
+}
+
+// TestReadWriterCleanBytes verifies the handshake exemption: the first
+// CleanBytes of each direction pass through untouched.
+func TestReadWriterCleanBytes(t *testing.T) {
+	data := bytes.Repeat([]byte{0x55}, 400)
+	cfg := RWConfig{Seed: 7, BitFlipRate: 1, CleanBytes: 128}
+	out := mangleThrough(cfg, data, 32)
+	if !bytes.Equal(out[:128], data[:128]) {
+		t.Fatal("clean prefix was mangled")
+	}
+	if bytes.Equal(out[128:], data[128:]) {
+		t.Fatal("bytes past the clean prefix were not mangled at rate 1")
+	}
+}
+
+// TestReadWriterBudget verifies MaxFaults: after the budget is spent the
+// wrapper is a passthrough, so retry loops terminate.
+func TestReadWriterBudget(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAA}, 1000)
+	cfg := RWConfig{Seed: 3, BitFlipRate: 1, MaxFaults: 5}
+	var out bytes.Buffer
+	f := NewReadWriter(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(nil), &out}, cfg)
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().BitFlips; got != 5 {
+		t.Fatalf("BitFlips = %d, want exactly the budget of 5", got)
+	}
+	// The tail after the budget must be untouched.
+	if !bytes.Equal(out.Bytes()[500:], data[500:]) {
+		t.Fatal("bytes after the spent budget were still mangled")
+	}
+}
+
+// TestReadWriterCloseAfter verifies the mid-stream close: operations fail
+// with ErrInjectedClose once the byte budget crosses.
+func TestReadWriterCloseAfter(t *testing.T) {
+	var out bytes.Buffer
+	f := NewReadWriter(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(nil), &out}, RWConfig{CloseAfter: 10})
+	if _, err := f.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := f.Write([]byte{1}); !errors.Is(err, ErrInjectedClose) {
+		t.Fatalf("write past budget: %v, want ErrInjectedClose", err)
+	}
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedClose) {
+		t.Fatalf("read past budget: %v, want ErrInjectedClose", err)
+	}
+}
+
+// TestFaultyFS exercises each fault kind through a real temp directory.
+func TestFaultyFS(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFS(nil, FSConfig{Seed: 1, WriteErrRate: 1, MaxFaults: 1})
+	name := filepath.Join(dir, "doc.json")
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: %v, want injected error", err)
+	}
+	if fsys.Faults() != 1 {
+		t.Fatalf("Faults() = %d, want 1", fsys.Faults())
+	}
+	// Budget spent: the same call now succeeds.
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); err != nil {
+		t.Fatalf("post-budget write: %v", err)
+	}
+	got, err := fsys.ReadFile(name)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+
+	short := NewFS(nil, FSConfig{Seed: 2, ShortWriteRate: 1, MaxFaults: 1})
+	torn := filepath.Join(dir, "torn.json")
+	if err := short.WriteFile(torn, []byte("0123456789"), 0o600); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: %v, want injected error", err)
+	}
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatalf("torn file missing: %v", err)
+	}
+	if len(data) == 0 || len(data) >= 10 {
+		t.Fatalf("torn file has %d bytes, want a strict prefix", len(data))
+	}
+
+	rerr := NewFS(nil, FSConfig{Seed: 3, ReadErrRate: 1, MaxFaults: 1})
+	if _, err := rerr.ReadFile(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error: %v, want injected error", err)
+	}
+	badRename := NewFS(nil, FSConfig{Seed: 4, RenameErrRate: 1, MaxFaults: 1})
+	if err := badRename.Rename(name, name+".x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error: %v, want injected error", err)
+	}
+}
+
+// TestRoundTripperFaults exercises each HTTP fault kind against a live
+// server.
+func TestRoundTripperFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(bytes.Repeat([]byte("response body "), 16))
+	}))
+	defer ts.Close()
+
+	get := func(rt http.RoundTripper) (*http.Response, error) {
+		client := &http.Client{Transport: rt}
+		return client.Get(ts.URL)
+	}
+
+	reset := NewRoundTripper(nil, HTTPConfig{Seed: 1, ResetRate: 1, MaxFaults: 1})
+	if _, err := get(reset); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset: %v, want injected error", err)
+	}
+	if s := reset.Stats(); s.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", s.Resets)
+	}
+	// Budget spent: the retry succeeds.
+	resp, err := get(reset)
+	if err != nil {
+		t.Fatalf("post-budget request: %v", err)
+	}
+	resp.Body.Close()
+
+	fivexx := NewRoundTripper(nil, HTTPConfig{Seed: 2, FiveXXRate: 1, MaxFaults: 1})
+	resp, err = get(fivexx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+
+	trunc := NewRoundTripper(nil, HTTPConfig{Seed: 3, TruncateRate: 1, MaxFaults: 1})
+	resp, err = get(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading truncated body: %v, want io.ErrUnexpectedEOF", err)
+	}
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// FS is the filesystem seam shared by the cloud store/journal and the phone
+// OfflineQueue: exactly the operations those layers perform, so a faulty
+// implementation can be slotted under either without touching their logic.
+// OSFS is the production implementation.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OSFS is the real operating-system filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OSFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                   { return os.Remove(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// FSConfig configures a FaultyFS. The zero value injects nothing.
+type FSConfig struct {
+	// Seed pins the fault schedule (see RWConfig.Seed).
+	Seed int64
+	// WriteErrRate fails WriteFile before any byte reaches the disk.
+	WriteErrRate float64
+	// ShortWriteRate makes WriteFile leave a truncated file behind and
+	// report an error — the torn write a crash or full disk produces.
+	ShortWriteRate float64
+	// RenameErrRate fails Rename, stranding a temp file beside its target.
+	RenameErrRate float64
+	// ReadErrRate fails ReadFile.
+	ReadErrRate float64
+	// DelayRate and Delay stall any operation — the slow sync of a worn
+	// SD card. Delays do not consume the fault budget.
+	DelayRate float64
+	Delay     time.Duration
+	// MaxFaults bounds injected errors (0 = no bound); once spent the
+	// filesystem behaves normally, so retry loops terminate.
+	MaxFaults int
+}
+
+// FaultyFS wraps an FS with seeded failures.
+type FaultyFS struct {
+	inner FS
+	cfg   FSConfig
+	src   *source
+	// delays draws from its own source so enabling latency does not shift
+	// the error schedule.
+	delays *source
+}
+
+// NewFS wraps inner (nil = the real filesystem) with the configured faults.
+func NewFS(inner FS, cfg FSConfig) *FaultyFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultyFS{
+		inner:  inner,
+		cfg:    cfg,
+		src:    newSource(cfg.Seed, cfg.MaxFaults),
+		delays: newSource(cfg.Seed+0x2545F491, 0),
+	}
+}
+
+// Faults returns how many errors have been injected so far.
+func (f *FaultyFS) Faults() int { return f.src.count() }
+
+func (f *FaultyFS) delay() {
+	if f.cfg.Delay > 0 && f.delays.hit(f.cfg.DelayRate) {
+		time.Sleep(f.cfg.Delay)
+	}
+}
+
+func (f *FaultyFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.delay()
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultyFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f.delay()
+	if f.src.hit(f.cfg.WriteErrRate) {
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	}
+	if len(data) > 1 && f.src.hit(f.cfg.ShortWriteRate) {
+		// Leave the torn file in place — recovery code must cope with it.
+		_ = f.inner.WriteFile(name, data[:1+f.src.intn(len(data)-1)], perm)
+		return fmt.Errorf("%w: short write %s", ErrInjected, name)
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	f.delay()
+	if f.src.hit(f.cfg.RenameErrRate) {
+		return fmt.Errorf("%w: rename %s", ErrInjected, oldpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultyFS) Remove(name string) error {
+	f.delay()
+	return f.inner.Remove(name)
+}
+
+func (f *FaultyFS) ReadFile(name string) ([]byte, error) {
+	f.delay()
+	if f.src.hit(f.cfg.ReadErrRate) {
+		return nil, fmt.Errorf("%w: read %s", ErrInjected, name)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultyFS) ReadDir(name string) ([]os.DirEntry, error) {
+	f.delay()
+	return f.inner.ReadDir(name)
+}

@@ -1,0 +1,201 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrInjectedClose reports a transport the injector closed mid-stream — the
+// cable was yanked. Both directions fail from that point on.
+var ErrInjectedClose = fmt.Errorf("%w: transport closed mid-stream", ErrInjected)
+
+// RWConfig configures a faulty ReadWriter. All rates are probabilities in
+// [0,1]; the zero value injects nothing.
+type RWConfig struct {
+	// Seed pins the fault schedule. Two wrappers with the same seed and
+	// the same byte sequence inject identical faults.
+	Seed int64
+	// CleanBytes exempts the first N bytes of each direction from faults
+	// (and from randomness draws), so a handshake with no retransmission
+	// layer can complete before the noise starts.
+	CleanBytes int
+	// BitFlipRate is the per-byte probability of flipping one random bit,
+	// in either direction — classic cable noise the CRC must catch.
+	BitFlipRate float64
+	// DropRate is the per-byte probability of the byte silently vanishing
+	// in transit, desynchronizing the receiver's framing.
+	DropRate float64
+	// ShortWriteRate is the per-Write probability of silently truncating
+	// the tail of the buffer: the caller believes everything was sent.
+	ShortWriteRate float64
+	// StallRate and Stall inject latency: each Read/Write stalls for
+	// Stall with probability StallRate.
+	StallRate float64
+	Stall     time.Duration
+	// CloseAfter, when > 0, fails every operation with ErrInjectedClose
+	// once that many bytes (reads plus writes) have crossed the wrapper.
+	CloseAfter int
+	// MaxFaults bounds the injected fault events per direction (0 = no
+	// bound); once spent the wrapper is a passthrough, guaranteeing that
+	// a retrying protocol eventually makes progress.
+	MaxFaults int
+}
+
+// RWStats counts what a ReadWriter actually injected.
+type RWStats struct {
+	BitFlips    int
+	Drops       int
+	ShortWrites int
+	Stalls      int
+}
+
+// ReadWriter wraps a transport with seeded byte-level faults. Writes are
+// mangled on their way out and reads on their way in, so wrapping one end
+// of a duplex link perturbs both directions. Each direction draws from its
+// own generator: the schedule depends only on the byte offsets within that
+// direction, not on how reads and writes interleave.
+type ReadWriter struct {
+	rw  io.ReadWriter
+	cfg RWConfig
+	// wr/rd are the write- and read-direction sources.
+	wr, rd *source
+
+	mu      sync.Mutex
+	wrBytes int
+	rdBytes int
+	total   int
+	stats   RWStats
+}
+
+// NewReadWriter wraps rw with the configured fault schedule.
+func NewReadWriter(rw io.ReadWriter, cfg RWConfig) *ReadWriter {
+	return &ReadWriter{
+		rw:  rw,
+		cfg: cfg,
+		wr:  newSource(cfg.Seed, cfg.MaxFaults),
+		rd:  newSource(cfg.Seed+0x5DEECE66D, cfg.MaxFaults),
+	}
+}
+
+// Stats returns what has been injected so far.
+func (f *ReadWriter) Stats() RWStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// closed reports (and accounts) the mid-stream close budget.
+func (f *ReadWriter) closed(n int) bool {
+	if f.cfg.CloseAfter <= 0 {
+		f.mu.Lock()
+		f.total += n
+		f.mu.Unlock()
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total >= f.cfg.CloseAfter {
+		return true
+	}
+	f.total += n
+	return false
+}
+
+// mangle applies per-byte faults (drops, bit flips) to buf, where offset is
+// the direction's byte position of buf[0]. It returns the surviving bytes.
+// Bytes inside CleanBytes pass through without consuming randomness, so a
+// concurrent handshake stays deterministic.
+func (f *ReadWriter) mangle(src *source, buf []byte, offset int, stats func(flips, drops int)) []byte {
+	out := buf[:0:len(buf)] // in-place filter; callers pass a private copy
+	flips, drops := 0, 0
+	for i, b := range buf {
+		if offset+i < f.cfg.CleanBytes {
+			out = append(out, b)
+			continue
+		}
+		if src.hit(f.cfg.DropRate) {
+			drops++
+			continue
+		}
+		if src.hit(f.cfg.BitFlipRate) {
+			b ^= 1 << src.intn(8)
+			flips++
+		}
+		out = append(out, b)
+	}
+	if flips > 0 || drops > 0 {
+		stats(flips, drops)
+	}
+	return out
+}
+
+// Write mangles p and forwards it, reporting full success for silently
+// dropped or truncated bytes — exactly what a bad cable does.
+func (f *ReadWriter) Write(p []byte) (int, error) {
+	if f.closed(len(p)) {
+		return 0, ErrInjectedClose
+	}
+	f.stall(f.wr)
+	f.mu.Lock()
+	offset := f.wrBytes
+	f.wrBytes += len(p)
+	f.mu.Unlock()
+
+	buf := append([]byte(nil), p...)
+	buf = f.mangle(f.wr, buf, offset, func(flips, drops int) {
+		f.mu.Lock()
+		f.stats.BitFlips += flips
+		f.stats.Drops += drops
+		f.mu.Unlock()
+	})
+	if offset >= f.cfg.CleanBytes && len(buf) > 1 && f.wr.hit(f.cfg.ShortWriteRate) {
+		buf = buf[:1+f.wr.intn(len(buf)-1)]
+		f.mu.Lock()
+		f.stats.ShortWrites++
+		f.mu.Unlock()
+	}
+	if len(buf) > 0 {
+		if _, err := f.rw.Write(buf); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Read forwards a read and mangles the result in place; dropped bytes
+// shrink the returned count.
+func (f *ReadWriter) Read(p []byte) (int, error) {
+	if f.closed(0) {
+		return 0, ErrInjectedClose
+	}
+	f.stall(f.rd)
+	n, err := f.rw.Read(p)
+	if n <= 0 {
+		return n, err
+	}
+	if f.closed(n) {
+		return 0, ErrInjectedClose
+	}
+	f.mu.Lock()
+	offset := f.rdBytes
+	f.rdBytes += n
+	f.mu.Unlock()
+	out := f.mangle(f.rd, p[:n], offset, func(flips, drops int) {
+		f.mu.Lock()
+		f.stats.BitFlips += flips
+		f.stats.Drops += drops
+		f.mu.Unlock()
+	})
+	return len(out), err
+}
+
+func (f *ReadWriter) stall(src *source) {
+	if f.cfg.Stall > 0 && src.hit(f.cfg.StallRate) {
+		f.mu.Lock()
+		f.stats.Stalls++
+		f.mu.Unlock()
+		time.Sleep(f.cfg.Stall)
+	}
+}

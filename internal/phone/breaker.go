@@ -1,0 +1,148 @@
+package phone
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a circuit breaker for the phone's live-upload path. Each failed
+// upload already costs the user a full transfer plus a timeout; once the
+// service has failed several times in a row it is almost certainly still
+// down, so the breaker trips and subsequent captures go straight to the
+// OfflineQueue spool. After a cooldown one probe upload is admitted
+// (half-open); if it succeeds the breaker closes and the backlog flushes.
+//
+// The zero value is ready to use with the defaults below.
+type Breaker struct {
+	// Threshold is how many consecutive failures trip the breaker
+	// (0 → 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (0 → 30s).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	// now is a test hook for the clock.
+	now func() time.Time
+}
+
+// BreakerState is the circuit breaker lifecycle state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests without trying.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe request.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 30 * time.Second
+)
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return defaultBreakerThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return defaultBreakerCooldown
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a live attempt may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits exactly one probe;
+// further calls are rejected until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the failure
+// count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt. A half-open probe failure re-opens the
+// breaker immediately; in the closed state the breaker trips once Threshold
+// consecutive failures accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+		b.probing = false
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = BreakerOpen
+			b.openedAt = b.clock()
+		}
+	}
+}
+
+// State returns the current lifecycle state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -92,6 +92,11 @@ type Relay struct {
 	Async bool
 	// PollInterval paces async status polls (0 → the client default).
 	PollInterval time.Duration
+	// Breaker, when non-nil, short-circuits the live-upload path in
+	// SubmitOrSpool: after repeated failures captures spool directly to
+	// the offline queue without paying a transfer plus a timeout each,
+	// and a half-open probe after the cooldown restores live uploads.
+	Breaker *Breaker
 }
 
 func (r *Relay) progress(format string, args ...any) {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -13,6 +13,7 @@ import (
 
 	"medsen/internal/cloud"
 	"medsen/internal/csvio"
+	"medsen/internal/faultinject"
 	"medsen/internal/lockin"
 )
 
@@ -24,12 +25,29 @@ import (
 type OfflineQueue struct {
 	// Dir is the spool directory.
 	Dir string
+	// FS, when non-nil, replaces the real filesystem — the seam the
+	// fault-injection harness uses to exercise spool write failures.
+	FS faultinject.FS
 
 	mu sync.Mutex
 }
 
-// payloadSuffix marks queued compressed captures.
-const payloadSuffix = ".zip"
+// payloadSuffix marks queued compressed captures. tmpSuffix marks an entry
+// still being written (a crash mid-Enqueue leaves one behind; the sweep
+// removes it). badSuffix marks an entry parked aside by Flush because it was
+// unreadable or permanently rejected — kept for forensics, never re-sent.
+const (
+	payloadSuffix = ".zip"
+	tmpSuffix     = ".tmp"
+	badSuffix     = ".bad"
+)
+
+func (q *OfflineQueue) fs() faultinject.FS {
+	if q.FS != nil {
+		return q.FS
+	}
+	return faultinject.OSFS{}
+}
 
 // Enqueue spools one compressed capture and returns its queue entry name.
 func (q *OfflineQueue) Enqueue(payload []byte) (string, error) {
@@ -38,32 +56,59 @@ func (q *OfflineQueue) Enqueue(payload []byte) (string, error) {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if err := os.MkdirAll(q.Dir, 0o700); err != nil {
+	if err := q.fs().MkdirAll(q.Dir, 0o700); err != nil {
 		return "", fmt.Errorf("phone: creating queue dir: %w", err)
 	}
+	q.sweepStaleLocked()
 	next, err := q.nextSeqLocked()
 	if err != nil {
 		return "", err
 	}
 	name := fmt.Sprintf("%06d%s", next, payloadSuffix)
-	tmp := filepath.Join(q.Dir, name+".tmp")
-	if err := os.WriteFile(tmp, payload, 0o600); err != nil {
+	tmp := filepath.Join(q.Dir, name+tmpSuffix)
+	if err := q.fs().WriteFile(tmp, payload, 0o600); err != nil {
 		return "", fmt.Errorf("phone: spooling: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(q.Dir, name)); err != nil {
+	if err := q.fs().Rename(tmp, filepath.Join(q.Dir, name)); err != nil {
 		return "", fmt.Errorf("phone: committing spool entry: %w", err)
 	}
 	return name, nil
 }
 
-// nextSeqLocked returns one past the highest spooled sequence number.
-func (q *OfflineQueue) nextSeqLocked() (int, error) {
-	entries, err := q.pendingLocked()
+// sweepStaleLocked removes *.tmp leftovers from a crash mid-Enqueue. A tmp
+// file never reached the rename, so nothing durable is lost by deleting it —
+// the capture it held was never acknowledged as spooled.
+func (q *OfflineQueue) sweepStaleLocked() {
+	entries, err := q.fs().ReadDir(q.Dir)
 	if err != nil {
-		return 0, err
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			_ = q.fs().Remove(filepath.Join(q.Dir, e.Name()))
+		}
+	}
+}
+
+// nextSeqLocked returns one past the highest sequence number present in the
+// spool in any form — live (.zip), in-flight (.zip.tmp), or parked
+// (.zip.bad). Parked entries must count: reusing their number would let a
+// later park rename over an earlier parked capture.
+func (q *OfflineQueue) nextSeqLocked() (int, error) {
+	entries, err := q.fs().ReadDir(q.Dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("phone: reading queue: %w", err)
 	}
 	next := 1
-	for _, name := range entries {
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), badSuffix)
+		name = strings.TrimSuffix(name, tmpSuffix)
+		if !strings.HasSuffix(name, payloadSuffix) {
+			continue
+		}
 		if n, err := strconv.Atoi(strings.TrimSuffix(name, payloadSuffix)); err == nil && n >= next {
 			next = n + 1
 		}
@@ -75,23 +120,31 @@ func (q *OfflineQueue) nextSeqLocked() (int, error) {
 func (q *OfflineQueue) Pending() ([]string, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.pendingLocked()
+	return q.listLocked(payloadSuffix)
 }
 
-func (q *OfflineQueue) pendingLocked() ([]string, error) {
+// Parked lists entries Flush has set aside as unreadable or permanently
+// rejected, in name order.
+func (q *OfflineQueue) Parked() ([]string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.listLocked(badSuffix)
+}
+
+func (q *OfflineQueue) listLocked(suffix string) ([]string, error) {
 	if q.Dir == "" {
 		return nil, errors.New("phone: queue has no directory")
 	}
-	entries, err := os.ReadDir(q.Dir)
+	entries, err := q.fs().ReadDir(q.Dir)
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("phone: reading queue: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), payloadSuffix) {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), suffix) {
 			names = append(names, e.Name())
 		}
 	}
@@ -99,9 +152,22 @@ func (q *OfflineQueue) pendingLocked() ([]string, error) {
 	return names, nil
 }
 
+// permanentUploadError reports whether the service definitively rejected the
+// payload itself — retrying the identical bytes can never succeed, so the
+// entry should be parked rather than block the queue.
+func permanentUploadError(err error) bool {
+	return errors.Is(err, cloud.ErrInvalidRequest) ||
+		errors.Is(err, cloud.ErrUnprocessable) ||
+		errors.Is(err, cloud.ErrPayloadTooLarge)
+}
+
 // Flush uploads spooled entries in order through the client, deleting each
-// on success. It stops at the first failure (connectivity is presumably
-// still bad) and reports how many entries were shipped.
+// on success. An entry that cannot be read back or that the service
+// permanently rejects is parked aside with a .bad suffix — one corrupt spool
+// file must not wedge every capture behind it — and flushing continues.
+// Transient failures (transport errors, 5xx) stop the flush as before:
+// connectivity is presumably still bad. It reports how many entries were
+// shipped.
 func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, error) {
 	if client == nil {
 		return 0, errors.New("phone: flush needs a cloud client")
@@ -113,19 +179,74 @@ func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, er
 	flushed := 0
 	for _, name := range names {
 		path := filepath.Join(q.Dir, name)
-		payload, err := os.ReadFile(path)
+		payload, err := q.fs().ReadFile(path)
 		if err != nil {
-			return flushed, fmt.Errorf("phone: reading spool entry %s: %w", name, err)
+			if perr := q.park(name); perr != nil {
+				return flushed, fmt.Errorf("phone: parking unreadable entry %s: %w", name, perr)
+			}
+			continue
 		}
 		if _, err := client.SubmitCompressed(ctx, payload); err != nil {
+			if permanentUploadError(err) {
+				if perr := q.park(name); perr != nil {
+					return flushed, fmt.Errorf("phone: parking rejected entry %s: %w", name, perr)
+				}
+				continue
+			}
 			return flushed, fmt.Errorf("phone: flushing %s: %w", name, err)
 		}
-		if err := os.Remove(path); err != nil {
+		if err := q.fs().Remove(path); err != nil {
 			return flushed, fmt.Errorf("phone: removing flushed entry %s: %w", name, err)
 		}
 		flushed++
 	}
 	return flushed, nil
+}
+
+// park renames a spool entry aside with the .bad suffix.
+func (q *OfflineQueue) park(name string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	path := filepath.Join(q.Dir, name)
+	return q.fs().Rename(path, path+badSuffix)
+}
+
+// SubmitOrSpool ships an already compressed payload, spooling it when the
+// live path is unavailable. When the relay has a Breaker, a tripped breaker
+// skips the live attempt entirely (no transfer, no timeout — straight to the
+// spool), and a successful attempt closes the breaker and flushes the
+// backlog best-effort.
+func (r *Relay) SubmitOrSpool(ctx context.Context, payload []byte, q *OfflineQueue) (sub cloud.SubmitResponse, queued bool, err error) {
+	if q == nil {
+		return cloud.SubmitResponse{}, false, errors.New("phone: nil queue")
+	}
+	live := r.Client != nil
+	if live && r.Breaker != nil && !r.Breaker.Allow() {
+		r.progress("circuit open, spooling capture")
+		live = false
+	}
+	if live {
+		sub, err = r.Submit(ctx, payload)
+		if err == nil {
+			if r.Breaker != nil {
+				r.Breaker.Success()
+				if n, ferr := q.Flush(ctx, r.Client); ferr == nil && n > 0 {
+					r.progress("connectivity restored, flushed %d spooled captures", n)
+				}
+			}
+			return sub, false, nil
+		}
+		if r.Breaker != nil {
+			r.Breaker.Failure()
+		}
+		r.progress("upload failed (%v), spooling capture", err)
+	}
+	name, qErr := q.Enqueue(payload)
+	if qErr != nil {
+		return cloud.SubmitResponse{}, false, fmt.Errorf("phone: upload failed and spooling failed: %w", qErr)
+	}
+	r.progress("capture spooled as %s", name)
+	return cloud.SubmitResponse{}, true, nil
 }
 
 // UploadOrQueue attempts a live upload; on a transport or service failure it
@@ -142,17 +263,5 @@ func (r *Relay) UploadOrQueue(ctx context.Context, acq lockin.Acquisition, q *Of
 	if _, err := r.Uplink.TransferContext(ctx, len(payload)); err != nil {
 		return cloud.SubmitResponse{}, false, err
 	}
-	if r.Client != nil {
-		sub, err = r.Submit(ctx, payload)
-		if err == nil {
-			return sub, false, nil
-		}
-		r.progress("upload failed (%v), spooling capture", err)
-	}
-	name, qErr := q.Enqueue(payload)
-	if qErr != nil {
-		return cloud.SubmitResponse{}, false, fmt.Errorf("phone: upload failed and spooling failed: %w", qErr)
-	}
-	r.progress("capture spooled as %s", name)
-	return cloud.SubmitResponse{}, true, nil
+	return r.SubmitOrSpool(ctx, payload, q)
 }
