@@ -8,11 +8,20 @@
 // analyses within -shutdown-timeout instead of killing workers mid-job
 // (still-queued jobs stay journaled for the next start).
 //
+// -rate-limit bounds each client to a sustained submissions-per-second rate
+// (burst -rate-burst) answered with 429 + Retry-After, and -max-queue-wait
+// sheds load adaptively once the estimated queue wait exceeds the bound —
+// batch async uploads first, interactive sync submissions only at 4x the
+// limit, authentication never. Uploads dedup on their Idempotency-Key
+// header (default: the payload SHA-256), so rejected or retried submissions
+// never double-analyze a capture.
+//
 // Usage:
 //
 //	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
-//	             [-job-timeout D] [-read-timeout D] [-write-timeout D] [-idle-timeout D]
+//	             [-job-timeout D] [-rate-limit N] [-rate-burst N] [-max-queue-wait D]
+//	             [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 package main
 
 import (
@@ -43,6 +52,9 @@ func run() int {
 	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "retained terminal async job records (0 = default 1024, negative = unbounded)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job analysis execution deadline; over-budget jobs fail terminally with deadline_exceeded (0 = none)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained submissions per second before 429 rate_limited (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client submission burst allowance (0 = 2x rate-limit)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "estimated queue wait beyond which new submissions are shed with 429 overloaded (0 = never shed)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration reading an entire request, including the upload body")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before the connection is closed")
@@ -55,6 +67,9 @@ func run() int {
 		JobTTL:          *jobTTL,
 		MaxTerminalJobs: *maxTerminalJobs,
 		JobTimeout:      *jobTimeout,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		MaxQueueWait:    *maxQueueWait,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)

@@ -26,17 +26,22 @@ type Client struct {
 	// HTTPClient may be overridden for tests or custom transports; nil
 	// uses http.DefaultClient.
 	HTTPClient *http.Client
-	// Retry, when non-nil, retries *safe* (GET) requests on transport
-	// errors and 5xx responses with exponential backoff. Mutating
-	// requests are never retried here — a duplicated upload would store
-	// the capture twice; the phone's OfflineQueue owns that failure
-	// mode instead.
+	// Retry, when non-nil, retries safe requests on transport errors, 5xx,
+	// and 429 responses with exponential backoff, honoring the server's
+	// Retry-After when it is longer. Safe means GET — or a submission
+	// carrying an idempotency key, which the service dedups, so re-sending
+	// it cannot store the capture twice. Keyless mutating requests are
+	// never retried; the phone's OfflineQueue owns that failure mode.
 	Retry *RetryPolicy
 	// AttemptTimeout bounds each individual HTTP attempt (0 = none). A
 	// stalled connection then fails that one attempt — and the retry
 	// policy gets a chance — instead of pinning the caller until its
 	// context expires.
 	AttemptTimeout time.Duration
+	// ClientID, when non-empty, is sent as X-Client-Id on every request so
+	// the service's per-client rate limiter keys on the device identity
+	// rather than a (possibly NATed, shared) remote address.
+	ClientID string
 }
 
 // RetryPolicy bounds safe-request retries.
@@ -115,9 +120,12 @@ type respMeta struct {
 	header http.Header
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any, meta *respMeta) error {
+// do performs one API call. idemKey, when non-empty, rides along as the
+// Idempotency-Key header and makes the request safe to retry: the service
+// dedups it, so the retry policy applies to keyed POSTs exactly as to GETs.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType, idemKey string, out any, meta *respMeta) error {
 	attempts := 1
-	if c.Retry != nil && method == http.MethodGet && c.Retry.MaxAttempts > 1 {
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 && (method == http.MethodGet || idemKey != "") {
 		attempts = c.Retry.MaxAttempts
 	}
 	start := time.Now()
@@ -125,6 +133,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			delay := c.Retry.backoff(attempt, rand.Float64)
+			// A server-sent Retry-After is authoritative when it is longer
+			// than our own backoff: a compliant client does not hammer a
+			// service that told it when to come back.
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > delay {
+				delay = apiErr.RetryAfter
+			}
 			if c.Retry.MaxElapsed > 0 && time.Since(start)+delay > c.Retry.MaxElapsed {
 				return fmt.Errorf("cloud: retry budget %s exhausted: %w", c.Retry.MaxElapsed, lastErr)
 			}
@@ -132,7 +147,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 				return errors.Join(err, lastErr)
 			}
 		}
-		retryable, err := c.doOnce(ctx, method, path, body, contentType, out, meta)
+		retryable, err := c.doOnce(ctx, method, path, body, contentType, idemKey, out, meta)
 		if err == nil {
 			return nil
 		}
@@ -145,7 +160,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 }
 
 // doOnce performs one request and reports whether a failure is retryable.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType string, out any, meta *respMeta) (retryable bool, err error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, contentType, idemKey string, out any, meta *respMeta) (retryable bool, err error) {
 	if c.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
@@ -161,6 +176,12 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-Id", c.ClientID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -178,11 +199,18 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 			RetryAfter: parseRetryAfter(resp.Header),
 		}
 		var env errorEnvelope
-		if derr := json.NewDecoder(resp.Body).Decode(&env); derr == nil && env.Error.Code != "" {
+		parsed := json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error.Code != ""
+		if parsed {
 			apiErr.Code = env.Error.Code
 			apiErr.Message = env.Error.Message
 		}
-		return retryableStatus(resp.StatusCode),
+		// duplicate_in_flight (409) means someone — possibly our own torn
+		// first attempt — is analyzing this capture right now; a retry
+		// returns its result, so it is retryable despite the 4xx status. An
+		// error body that won't parse is a connection torn mid-response: the
+		// server's verdict never arrived, so the failure is ambiguous and a
+		// retry (bounded by the policy) is the only way to learn it.
+		return retryableStatus(resp.StatusCode) || apiErr.Code == CodeDuplicateInFlight || !parsed,
 			fmt.Errorf("cloud: %s %s: %w", method, path, apiErr)
 	}
 	if out == nil {
@@ -197,14 +225,26 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 }
 
 // SubmitCompressed uploads an already zip-compressed capture, waits for the
-// inline analysis, and returns the analysis id and report.
+// inline analysis, and returns the analysis id and report. The request
+// carries the payload's content-derived capture key (CaptureKey), so client
+// retries, breaker flushes, and spool replays of the same capture return the
+// original analysis instead of storing it twice.
 func (c *Client) SubmitCompressed(ctx context.Context, payload []byte) (SubmitResponse, error) {
+	return c.SubmitCompressedKeyed(ctx, payload, CaptureKey(payload))
+}
+
+// SubmitCompressedKeyed is SubmitCompressed with an explicit Idempotency-Key.
+// Submissions sharing a key are one logical capture to the service — exactly
+// one stored analysis; distinct keys force distinct analyses even for
+// byte-identical payloads.
+func (c *Client) SubmitCompressedKeyed(ctx context.Context, payload []byte, key string) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/api/v1/analyses", payload, "application/zip", &out, nil)
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses", payload, "application/zip", key, &out, nil)
 	return out, err
 }
 
-// SubmitAcquisition compresses and uploads a capture.
+// SubmitAcquisition compresses and uploads a capture (idempotently, keyed by
+// the compressed payload's digest).
 func (c *Client) SubmitAcquisition(ctx context.Context, acq lockin.Acquisition) (SubmitResponse, error) {
 	payload, err := csvio.CompressAcquisition(acq)
 	if err != nil {
@@ -213,19 +253,38 @@ func (c *Client) SubmitAcquisition(ctx context.Context, acq lockin.Acquisition) 
 	return c.SubmitCompressed(ctx, payload)
 }
 
+// SubmitAcquisitionKeyed compresses and uploads a capture under an explicit
+// Idempotency-Key.
+func (c *Client) SubmitAcquisitionKeyed(ctx context.Context, acq lockin.Acquisition, key string) (SubmitResponse, error) {
+	payload, err := csvio.CompressAcquisition(acq)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	return c.SubmitCompressedKeyed(ctx, payload, key)
+}
+
 // SubmitCompressedAsync enqueues an upload on the service's job queue and
-// returns the accepted job without waiting for analysis. Queue-full
-// backpressure surfaces as an error matching ErrQueueFull.
+// returns the accepted job without waiting for analysis — or, when the
+// capture key already owns work, the original job (a synthesized done job
+// once only the analysis survives). Queue-full backpressure surfaces as an
+// error matching ErrQueueFull. Keyed by the payload digest like
+// SubmitCompressed.
 func (c *Client) SubmitCompressedAsync(ctx context.Context, payload []byte) (Job, error) {
+	return c.SubmitCompressedAsyncKeyed(ctx, payload, CaptureKey(payload))
+}
+
+// SubmitCompressedAsyncKeyed is SubmitCompressedAsync with an explicit
+// Idempotency-Key.
+func (c *Client) SubmitCompressedAsyncKeyed(ctx context.Context, payload []byte, key string) (Job, error) {
 	var job Job
-	err := c.do(ctx, http.MethodPost, "/api/v1/analyses?async=1", payload, "application/zip", &job, nil)
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses?async=1", payload, "application/zip", key, &job, nil)
 	return job, err
 }
 
 // GetJob fetches an async job's current state.
 func (c *Client) GetJob(ctx context.Context, id string) (Job, error) {
 	var job Job
-	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, "", &job, nil)
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, "", "", &job, nil)
 	return job, err
 }
 
@@ -234,12 +293,19 @@ const defaultPollInterval = 250 * time.Millisecond
 
 // SubmitAndPoll submits a capture through the async job API and polls the
 // job until it completes, returning the same SubmitResponse the synchronous
-// path would. Queue-full rejections are retried after the server's
-// Retry-After hint; cancellation is honored at every wait. interval ≤ 0
-// selects the default 250 ms. When Retry.MaxElapsed is set, the same budget
-// bounds the submit-retry loop and any run of consecutive failed polls, so a
-// service that never recovers cannot hold the caller forever.
+// path would. Queue-full, rate-limited, overload-shed, duplicate-in-flight,
+// and shutting-down rejections are retried after the server's Retry-After
+// hint; cancellation is honored at every wait. interval ≤ 0 selects the
+// default 250 ms. When Retry.MaxElapsed is set, the same budget bounds the
+// submit-retry loop and any run of consecutive failed polls, so a service
+// that never recovers cannot hold the caller forever. Keyed by the payload
+// digest like SubmitCompressed.
 func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval time.Duration) (SubmitResponse, error) {
+	return c.SubmitAndPollKeyed(ctx, payload, interval, CaptureKey(payload))
+}
+
+// SubmitAndPollKeyed is SubmitAndPoll with an explicit Idempotency-Key.
+func (c *Client) SubmitAndPollKeyed(ctx context.Context, payload []byte, interval time.Duration, key string) (SubmitResponse, error) {
 	if interval <= 0 {
 		interval = defaultPollInterval
 	}
@@ -250,15 +316,19 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 	var job Job
 	submitStart := time.Now()
 	for {
-		j, err := c.SubmitCompressedAsync(ctx, payload)
+		j, err := c.SubmitCompressedAsyncKeyed(ctx, payload, key)
 		if err == nil {
 			job = j
 			break
 		}
-		// Queue-full and shutting-down answers are transient: the queue
-		// drains, and a draining instance is replaced by one that recovers
-		// its journal. Anything else is final.
-		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrUnavailable) {
+		// Queue-full, rate-limited, shed, duplicate-in-flight, and
+		// shutting-down answers are transient: the queue drains, the bucket
+		// refills, the in-flight duplicate completes (and then dedups), and
+		// a draining instance is replaced by one that recovers its journal.
+		// Anything else is final.
+		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrUnavailable) &&
+			!errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrOverloaded) &&
+			!errors.Is(err, ErrDuplicateInFlight) {
 			return SubmitResponse{}, err
 		}
 		if budget > 0 && time.Since(submitStart) > budget {
@@ -273,6 +343,9 @@ func (c *Client) SubmitAndPoll(ctx context.Context, payload []byte, interval tim
 			return SubmitResponse{}, errors.Join(serr, err)
 		}
 	}
+	// A dedup hit whose job record was already evicted arrives as a
+	// synthesized done job (no ID to poll); the terminal check below routes
+	// it straight to the report fetch.
 	lastGoodPoll := time.Now()
 	for !job.Status.Terminal() {
 		if err := sleepCtx(ctx, interval); err != nil {
@@ -348,7 +421,7 @@ func (c *Client) ListJobsPage(ctx context.Context, f JobFilter) ([]Job, int, err
 		Jobs []Job `json:"jobs"`
 	}
 	var meta respMeta
-	err := c.do(ctx, http.MethodGet, "/api/v1/jobs"+f.query(), nil, "", &out, &meta)
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs"+f.query(), nil, "", "", &out, &meta)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -358,14 +431,14 @@ func (c *Client) ListJobsPage(ctx context.Context, f JobFilter) ([]Job, int, err
 // GetReport fetches a stored analysis report.
 func (c *Client) GetReport(ctx context.Context, id string) (Report, error) {
 	var out Report
-	err := c.do(ctx, http.MethodGet, "/api/v1/analyses/"+id, nil, "", &out, nil)
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses/"+id, nil, "", "", &out, nil)
 	return out, err
 }
 
 // Authenticate runs cyto-coded authentication on a stored analysis.
 func (c *Client) Authenticate(ctx context.Context, id string) (AuthResult, error) {
 	var out AuthResult
-	err := c.do(ctx, http.MethodPost, "/api/v1/analyses/"+id+"/authenticate", nil, "", &out, nil)
+	err := c.do(ctx, http.MethodPost, "/api/v1/analyses/"+id+"/authenticate", nil, "", "", &out, nil)
 	return out, err
 }
 
@@ -380,7 +453,7 @@ func (c *Client) Enroll(ctx context.Context, userID string, id beads.Identifier)
 	if err != nil {
 		return fmt.Errorf("cloud: encoding enrollment: %w", err)
 	}
-	return c.do(ctx, http.MethodPost, "/api/v1/users", body, "application/json", nil, nil)
+	return c.do(ctx, http.MethodPost, "/api/v1/users", body, "application/json", "", nil, nil)
 }
 
 // Page bounds a listing request. The zero value requests everything.
@@ -424,7 +497,7 @@ func (c *Client) ListAnalysesPage(ctx context.Context, p Page) ([]AnalysisSummar
 		Analyses []AnalysisSummary `json:"analyses"`
 	}
 	var meta respMeta
-	err := c.do(ctx, http.MethodGet, "/api/v1/analyses"+p.query(), nil, "", &out, &meta)
+	err := c.do(ctx, http.MethodGet, "/api/v1/analyses"+p.query(), nil, "", "", &out, &meta)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -444,7 +517,7 @@ func (c *Client) UserAnalysesPage(ctx context.Context, userID string, p Page) ([
 		AnalysisIDs []string `json:"analysis_ids"`
 	}
 	var meta respMeta
-	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+userID+"/analyses"+p.query(), nil, "", &out, &meta)
+	err := c.do(ctx, http.MethodGet, "/api/v1/users/"+userID+"/analyses"+p.query(), nil, "", "", &out, &meta)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,284 @@
+package cloud
+
+// Exactly-once ingestion. Every retry seam in the system — cloud.Client
+// re-sending a POST, the phone breaker flushing its backlog, an OfflineQueue
+// replay after a crash, a response torn mid-body by the network — can deliver
+// the same capture twice, and a re-analyzed duplicate double-counts a
+// patient's diagnostic record. The service therefore keys every upload by a
+// capture key — the client's Idempotency-Key header, falling back to the
+// SHA-256 digest of the payload — and keeps an index from key to the work it
+// owns. A duplicate of completed work returns the original analysis; a
+// duplicate of in-flight work returns the owning job (async) or a 409
+// duplicate_in_flight the client retries (sync). With a StateDir the index
+// is journaled, so replays across a restart dedup too.
+//
+// The guarantee is exactly-once *success* on top of at-least-once attempts:
+// a capture whose analysis failed terminally releases its key so a retry can
+// run it again, and a synchronous reservation lives only in memory — if the
+// process dies mid-analysis the client's retry re-runs the capture.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CaptureKey returns the canonical content-derived idempotency key for a
+// compressed capture — the same key the service derives when a submission
+// carries no Idempotency-Key header. Two captures share a key only if they
+// are byte-identical, which for encrypted uploads means the same capture.
+func CaptureKey(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// maxIdempotencyKeyLen bounds client-supplied keys: the key is stored and
+// journaled per capture, so an adversarial header must not become a memory
+// or disk amplifier.
+const maxIdempotencyKeyLen = 200
+
+// captureKeyFor picks the dedup key for an upload: the client's explicit
+// Idempotency-Key header when present, else the payload digest.
+func captureKeyFor(header string, payload []byte) (string, error) {
+	if header == "" {
+		return CaptureKey(payload), nil
+	}
+	if len(header) > maxIdempotencyKeyLen {
+		return "", fmt.Errorf("Idempotency-Key longer than %d bytes", maxIdempotencyKeyLen)
+	}
+	return header, nil
+}
+
+// errDuplicateInFlight rejects a submission whose capture key is owned by a
+// synchronous analysis still in flight.
+var errDuplicateInFlight = errors.New("cloud: an identical capture is already being analyzed")
+
+// defaultMaxDedupEntries caps the index; completed entries past it are
+// evicted oldest-first, after which a very late replay of an ancient capture
+// would re-run — at-least-once, never lost.
+const defaultMaxDedupEntries = 65536
+
+// dedupEntry maps one capture key to the work that owns it.
+type dedupEntry struct {
+	key string
+	// jobID is the owning async job, analysisID the stored result once the
+	// capture succeeded. A failed job deletes its entry (retries may re-run
+	// the capture); a done job keeps it past the job record's eviction.
+	jobID      string
+	analysisID string
+	// seq orders entries for count-bound eviction.
+	seq int64
+	// pending marks a synchronous analysis in flight. Pending reservations
+	// are never journaled: they live exactly as long as the request that
+	// took them.
+	pending bool
+}
+
+// claimOutcome is the result of resolving a capture key for a synchronous
+// submission.
+type claimOutcome int
+
+const (
+	// claimNew: a pending reservation was registered; the caller runs the
+	// analysis and must complete or release the claim.
+	claimNew claimOutcome = iota
+	// claimDone: the capture already has a stored analysis.
+	claimDone
+	// claimInFlight: a synchronous analysis of the capture is running.
+	claimInFlight
+	// claimJob: a live async job owns the capture.
+	claimJob
+)
+
+// claimCaptureLocked resolves key against the index for a synchronous
+// submission, registering a pending reservation on a miss. Callers must
+// hold s.mu.
+func (s *Service) claimCaptureLocked(key string) (analysisID string, job Job, out claimOutcome) {
+	if e := s.dedup[key]; e != nil {
+		switch {
+		case e.analysisID != "":
+			s.metrics.DedupHits++
+			return e.analysisID, Job{}, claimDone
+		case e.pending:
+			s.metrics.DedupHits++
+			return "", Job{}, claimInFlight
+		case e.jobID != "":
+			if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed {
+				s.metrics.DedupHits++
+				return "", qj.Job, claimJob
+			}
+			// The owning job failed or vanished without a stored analysis:
+			// this attempt may legitimately re-run the capture.
+		}
+	}
+	s.insertDedupLocked(&dedupEntry{key: key, pending: true})
+	return "", Job{}, claimNew
+}
+
+// releaseCaptureLocked drops a pending reservation after a failed or shed
+// synchronous attempt, so the client's retry can run the capture again.
+// Completed entries are left alone. Callers must hold s.mu.
+func (s *Service) releaseCaptureLocked(key string) {
+	if e := s.dedup[key]; e != nil && e.pending {
+		delete(s.dedup, key)
+	}
+}
+
+// completeCaptureLocked records the stored analysis for a capture key and
+// journals the entry. Callers must hold s.mu.
+func (s *Service) completeCaptureLocked(key, analysisID string) {
+	e := s.dedup[key]
+	if e == nil {
+		e = &dedupEntry{key: key}
+		s.insertDedupLocked(e)
+	}
+	e.pending = false
+	e.analysisID = analysisID
+	s.journalDedupLocked(e)
+}
+
+// dropCaptureLocked removes a failed job's claim on its capture key — the
+// index guarantees exactly-once success, not at-most-once attempts, so a
+// retry of the capture must be allowed to run. Callers must hold s.mu.
+func (s *Service) dropCaptureLocked(key, jobID string) {
+	if e := s.dedup[key]; e != nil && e.jobID == jobID && e.analysisID == "" {
+		delete(s.dedup, key)
+		s.removeDedupFile(key)
+	}
+}
+
+// insertDedupLocked registers an entry and enforces the count bound.
+// Callers must hold s.mu.
+func (s *Service) insertDedupLocked(e *dedupEntry) {
+	s.dedupSeq++
+	e.seq = s.dedupSeq
+	s.dedup[e.key] = e
+	s.evictDedupLocked()
+}
+
+// evictDedupLocked drops the oldest completed entries beyond the count
+// bound. Pending reservations and live-job entries are never evicted — they
+// guard work still in flight. Callers must hold s.mu.
+func (s *Service) evictDedupLocked() {
+	if s.maxDedupEntries <= 0 || len(s.dedup) <= s.maxDedupEntries {
+		return
+	}
+	var done []*dedupEntry
+	for _, e := range s.dedup {
+		if e.analysisID != "" {
+			done = append(done, e)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	for _, e := range done {
+		if len(s.dedup) <= s.maxDedupEntries {
+			break
+		}
+		delete(s.dedup, e.key)
+		s.removeDedupFile(e.key)
+	}
+}
+
+// persistedDedup is the on-disk index document, one file per capture key.
+type persistedDedup struct {
+	Key        string `json:"key"`
+	JobID      string `json:"job_id,omitempty"`
+	AnalysisID string `json:"analysis_id,omitempty"`
+	Seq        int64  `json:"seq"`
+}
+
+// dedupFilePrefix distinguishes index documents from analysis and job
+// documents in the shared state directory; the file name hashes the key,
+// which may not be filesystem-safe.
+const dedupFilePrefix = "dedup-"
+
+func (s *Service) dedupFileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.stateDir, dedupFilePrefix+hex.EncodeToString(sum[:16])+".json")
+}
+
+// journalDedupLocked mirrors one entry to disk. As with mid-run job journal
+// writes there is no caller to hand an error to: a failed write costs
+// exactly-once across a restart for this one capture (the replay re-runs it
+// — at-least-once) and is surfaced via the dedup_journal_errors counter.
+// Callers must hold s.mu.
+func (s *Service) journalDedupLocked(e *dedupEntry) {
+	if s.stateDir == "" || e.pending {
+		return
+	}
+	doc := persistedDedup{Key: e.key, JobID: e.jobID, AnalysisID: e.analysisID, Seq: e.seq}
+	if err := s.writeDoc("dedup entry", s.dedupFileName(e.key), doc); err != nil {
+		s.metrics.DedupJournalErrors++
+	}
+}
+
+// removeDedupFile deletes an entry's index document (eviction, failed job).
+func (s *Service) removeDedupFile(key string) {
+	if s.stateDir == "" {
+		return
+	}
+	_ = s.fs.Remove(s.dedupFileName(key))
+}
+
+// loadDedup restores the journaled index, reconciling each entry against the
+// already-recovered analysis and job stores: an entry is only as good as the
+// work it points at, so entries for failed or vanished jobs (including a
+// crash between a job's terminal journal write and its index write) are
+// dropped rather than blocking the capture's retry. Must run after loadState
+// and loadJobs.
+func (s *Service) loadDedup() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	entries, err := s.fs.ReadDir(s.stateDir)
+	if err != nil {
+		return fmt.Errorf("cloud: reading state dir: %w", err)
+	}
+	for _, f := range entries {
+		name := f.Name()
+		if f.IsDir() || !strings.HasPrefix(name, dedupFilePrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
+		if err != nil {
+			return fmt.Errorf("cloud: reading %s: %w", name, err)
+		}
+		var doc persistedDedup
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("cloud: decoding %s: %w", name, err)
+		}
+		if doc.Key == "" {
+			return fmt.Errorf("cloud: document %s lacks a key", name)
+		}
+		e := &dedupEntry{key: doc.Key, jobID: doc.JobID, analysisID: doc.AnalysisID, seq: doc.Seq}
+		switch {
+		case e.analysisID != "":
+			if _, ok := s.analyses[e.analysisID]; !ok {
+				s.removeDedupFile(e.key)
+				continue
+			}
+		case e.jobID != "":
+			qj, live := s.jobs[e.jobID]
+			if !live || qj.Status == JobFailed {
+				s.removeDedupFile(e.key)
+				continue
+			}
+			if qj.Status == JobDone {
+				e.analysisID = qj.AnalysisID
+			}
+		default:
+			s.removeDedupFile(e.key)
+			continue
+		}
+		s.dedup[e.key] = e
+		if e.seq > s.dedupSeq {
+			s.dedupSeq = e.seq
+		}
+	}
+	return nil
+}

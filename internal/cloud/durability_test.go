@@ -60,7 +60,9 @@ func TestJobsRecoverAcrossRestart(t *testing.T) {
 	const n = 4
 	var ids []string
 	for i := 0; i < n; i++ {
-		job, err := client.SubmitCompressedAsync(ctx, payload)
+		// Distinct keys: four separate captures that happen to share bytes,
+		// not four retries of one capture.
+		job, err := client.SubmitCompressedAsyncKeyed(ctx, payload, fmt.Sprintf("recover-%d", i))
 		if err != nil {
 			t.Fatalf("submit #%d: %v", i, err)
 		}
@@ -102,7 +104,7 @@ func TestJobsRecoverAcrossRestart(t *testing.T) {
 		}
 	}
 	// New submissions continue the id sequence past the recovered jobs.
-	job, err := client2.SubmitCompressedAsync(ctx, payload)
+	job, err := client2.SubmitCompressedAsyncKeyed(ctx, payload, "recover-post-restart")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +263,11 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	t.Cleanup(ts.Close)
 	client := &Client{BaseURL: ts.URL}
 
-	j1, err := client.SubmitCompressedAsync(ctx, payload)
+	j1, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "drain-1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2, err := client.SubmitCompressedAsync(ctx, payload)
+	j2, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "drain-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +380,7 @@ func TestJobRetentionCountBound(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 3; i++ {
-		job, err := client.SubmitCompressedAsync(ctx, payload)
+		job, err := client.SubmitCompressedAsyncKeyed(ctx, payload, fmt.Sprintf("retain-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -480,23 +482,23 @@ func TestRejectedSubmissionLeavesNoIDGap(t *testing.T) {
 	t.Cleanup(ts.Close)
 	client := &Client{BaseURL: ts.URL}
 
-	j1, err := client.SubmitCompressedAsync(ctx, payload)
+	j1, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "gap-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitJobRunning(t, client, j1.ID)
-	j2, err := client.SubmitCompressedAsync(ctx, payload)
+	j2, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "gap-2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.SubmitCompressedAsync(ctx, payload); !errors.Is(err, ErrQueueFull) {
+	if _, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "gap-3"); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submission: %v, want ErrQueueFull", err)
 	}
 
 	close(gate)
 	waitJob(t, client, j1.ID)
 	waitJob(t, client, j2.ID)
-	j3, err := client.SubmitCompressedAsync(ctx, payload)
+	j3, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "gap-4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -596,7 +598,7 @@ func TestPersistFailureNoGhostJob(t *testing.T) {
 // fetchMetrics reads GET /metrics through the client transport.
 func fetchMetrics(ctx context.Context, client *Client) (Metrics, error) {
 	var m Metrics
-	err := client.do(ctx, http.MethodGet, "/metrics", nil, "", &m, nil)
+	err := client.do(ctx, http.MethodGet, "/metrics", nil, "", "", &m, nil)
 	return m, err
 }
 
@@ -622,7 +624,7 @@ func TestCloseEnqueuePollRace(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for k := 0; k < 5; k++ {
-					_, _, _ = svc.enqueueJob(payload) // rejection and shutdown errors are expected
+					_, _, _ = svc.enqueueJob(payload, "") // rejection and shutdown errors are expected
 				}
 			}()
 		}
@@ -743,7 +745,7 @@ func TestShutdownIdempotent(t *testing.T) {
 	if err := svc2.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc2.enqueueJob([]byte("x")); err == nil {
+	if _, _, err := svc2.enqueueJob([]byte("x"), ""); err == nil {
 		t.Fatal("enqueue after shutdown should fail")
 	}
 }

@@ -16,15 +16,18 @@ import (
 
 // Wire error codes of the v1 API.
 const (
-	CodeInvalidRequest   = "invalid_request"
-	CodeNotFound         = "not_found"
-	CodeConflict         = "conflict"
-	CodePayloadTooLarge  = "payload_too_large"
-	CodeUnprocessable    = "unprocessable"
-	CodeQueueFull        = "queue_full"
-	CodeUnavailable      = "unavailable"
-	CodeDeadlineExceeded = "deadline_exceeded"
-	CodeInternal         = "internal"
+	CodeInvalidRequest    = "invalid_request"
+	CodeNotFound          = "not_found"
+	CodeConflict          = "conflict"
+	CodePayloadTooLarge   = "payload_too_large"
+	CodeUnprocessable     = "unprocessable"
+	CodeQueueFull         = "queue_full"
+	CodeUnavailable       = "unavailable"
+	CodeDeadlineExceeded  = "deadline_exceeded"
+	CodeRateLimited       = "rate_limited"
+	CodeOverloaded        = "overloaded"
+	CodeDuplicateInFlight = "duplicate_in_flight"
+	CodeInternal          = "internal"
 )
 
 // Sentinel errors matched (via errors.Is) by *APIError values the client
@@ -50,21 +53,34 @@ var (
 	// ErrDeadlineExceeded is an async job terminated because its analysis
 	// ran past the service's per-job execution deadline.
 	ErrDeadlineExceeded = errors.New("cloud: job deadline exceeded")
+	// ErrRateLimited is a submission rejected by the per-client token
+	// bucket. Retry after the interval in APIError.RetryAfter.
+	ErrRateLimited = errors.New("cloud: rate limited")
+	// ErrOverloaded is a submission shed because the estimated job-queue
+	// wait exceeds the service's limit. Retry after APIError.RetryAfter.
+	ErrOverloaded = errors.New("cloud: service overloaded")
+	// ErrDuplicateInFlight is a submission whose capture key is owned by an
+	// analysis still running; a retry after APIError.RetryAfter returns the
+	// original result once it completes.
+	ErrDuplicateInFlight = errors.New("cloud: duplicate capture in flight")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
 
 // codeSentinels maps wire codes to their errors.Is sentinels.
 var codeSentinels = map[string]error{
-	CodeInvalidRequest:   ErrInvalidRequest,
-	CodeNotFound:         ErrNotFound,
-	CodeConflict:         ErrConflict,
-	CodePayloadTooLarge:  ErrPayloadTooLarge,
-	CodeUnprocessable:    ErrUnprocessable,
-	CodeQueueFull:        ErrQueueFull,
-	CodeUnavailable:      ErrUnavailable,
-	CodeDeadlineExceeded: ErrDeadlineExceeded,
-	CodeInternal:         ErrInternal,
+	CodeInvalidRequest:    ErrInvalidRequest,
+	CodeNotFound:          ErrNotFound,
+	CodeConflict:          ErrConflict,
+	CodePayloadTooLarge:   ErrPayloadTooLarge,
+	CodeUnprocessable:     ErrUnprocessable,
+	CodeQueueFull:         ErrQueueFull,
+	CodeUnavailable:       ErrUnavailable,
+	CodeDeadlineExceeded:  ErrDeadlineExceeded,
+	CodeRateLimited:       ErrRateLimited,
+	CodeOverloaded:        ErrOverloaded,
+	CodeDuplicateInFlight: ErrDuplicateInFlight,
+	CodeInternal:          ErrInternal,
 }
 
 // errorEnvelope is the wire form of every v1 error response.

@@ -73,6 +73,10 @@ type Job struct {
 type queuedJob struct {
 	Job
 	payload []byte
+	// captureKey is the idempotency key that owns this job ("" for jobs
+	// enqueued outside the dedup path); completion and failure mirror the
+	// outcome into the index under it.
+	captureKey string
 	// startedAt is when a worker picked the job up; the execution
 	// deadline — including the recovered-across-a-restart case — is
 	// measured from it.
@@ -164,14 +168,46 @@ func (s *Service) Shutdown(ctx context.Context) error {
 var errShutdown = errors.New("cloud: service is shutting down")
 
 // enqueueJob registers a job for the payload, journals it, and hands it to
-// the worker pool. ok=false means the queue is at capacity (backpressure).
-func (s *Service) enqueueJob(payload []byte) (Job, bool, error) {
+// the worker pool. The idempotency index is consulted first (under the same
+// lock, so concurrent duplicates cannot both enqueue): a key that already
+// owns live or completed work returns that work instead of a new job, a key
+// reserved by an in-flight sync analysis returns errDuplicateInFlight, and a
+// key whose owning job failed may re-run. ok=false means the queue is at
+// capacity (backpressure). key "" bypasses the index.
+func (s *Service) enqueueJob(payload []byte, key string) (Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.jobsClosed {
 		return Job{}, false, errShutdown
 	}
 	s.evictJobsLocked()
+	if key != "" {
+		if e := s.dedup[key]; e != nil {
+			if e.pending {
+				s.metrics.DedupHits++
+				return Job{}, false, errDuplicateInFlight
+			}
+			if e.jobID != "" {
+				if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed {
+					s.metrics.DedupHits++
+					return qj.Job, true, nil
+				}
+			}
+			if e.analysisID != "" {
+				// The owning job record was evicted (or the capture came in
+				// synchronously) but its analysis is stored: answer a
+				// synthesized done job so the caller skips polling entirely.
+				s.metrics.DedupHits++
+				return Job{Status: JobDone, AnalysisID: e.analysisID}, true, nil
+			}
+			// The owning job failed or vanished without a stored analysis:
+			// this submission may legitimately re-run the capture.
+		}
+	}
+	// A duplicate creates no new work, so only fresh admissions are shed.
+	if after, shed := s.shedLocked(false); shed {
+		return Job{}, false, &overloadError{retryAfter: after}
+	}
 	// The id is committed only once the queue accepts the job, so 429
 	// rejections leave no gaps in the sequence.
 	id := jobFilePrefix + strconv.Itoa(s.nextJobID+1)
@@ -182,14 +218,20 @@ func (s *Service) enqueueJob(payload []byte) (Job, bool, error) {
 		return Job{}, false, nil
 	}
 	s.nextJobID++
-	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload}
+	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload, captureKey: key}
 	if err := s.persistJob(qj, payload); err != nil {
-		// The job was never registered: the id stays burned and the worker
-		// ignores the orphaned queue entry. The caller sees the error
-		// instead of a 202 for a job that could not be made durable.
+		// The job was never registered: the id stays burned, the worker
+		// ignores the orphaned queue entry, and no dedup entry exists to
+		// block the caller's retry. The caller sees the error instead of a
+		// 202 for a job that could not be made durable.
 		return Job{}, false, err
 	}
 	s.jobs[id] = qj
+	if key != "" {
+		e := &dedupEntry{key: key, jobID: id}
+		s.insertDedupLocked(e)
+		s.journalDedupLocked(e)
+	}
 	s.metrics.JobsEnqueued++
 	return qj.Job, true, nil
 }
@@ -272,7 +314,11 @@ func (s *Service) runJob(id string) {
 		qj.AnalysisID = analysisID
 		qj.doneAt = s.now()
 		s.metrics.JobsCompleted++
+		s.queueEst.observe(qj.doneAt.Sub(qj.startedAt))
 		s.journalJobLocked(qj, nil)
+		if qj.captureKey != "" {
+			s.completeCaptureLocked(qj.captureKey, analysisID)
+		}
 		s.evictJobsLocked()
 	}
 	s.mu.Unlock()
@@ -297,6 +343,13 @@ func (s *Service) failJob(qj *queuedJob, code string, err error) {
 	qj.doneAt = s.now()
 	s.metrics.JobsFailed++
 	s.metrics.UploadErrors++
+	if !qj.startedAt.IsZero() {
+		s.queueEst.observe(qj.doneAt.Sub(qj.startedAt))
+	}
+	if qj.captureKey != "" {
+		// The capture never succeeded: release its key so a retry re-runs it.
+		s.dropCaptureLocked(qj.captureKey, qj.ID)
+	}
 	s.journalJobLocked(qj, nil)
 	s.evictJobsLocked()
 }
@@ -344,13 +397,24 @@ func (s *Service) evictJobsLocked() {
 const retryAfterSeconds = 1
 
 // handleSubmitAsync enqueues an upload and answers 202 with the job
-// resource (or 429 when the queue is full).
-func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte) {
-	job, ok, err := s.enqueueJob(body)
+// resource — the original job when the capture key dedups, a synthesized
+// done job when only the analysis survives — or 429 when the queue is full,
+// shed, or the capture is mid-analysis on the sync path (409).
+func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key string) {
+	job, ok, err := s.enqueueJob(body, key)
 	if err != nil {
-		if errors.Is(err, errShutdown) {
+		var oe *overloadError
+		switch {
+		case errors.Is(err, errShutdown):
 			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
-		} else {
+		case errors.Is(err, errDuplicateInFlight):
+			writeRetryAfter(w, retryAfterSeconds*time.Second)
+			writeError(w, http.StatusConflict, CodeDuplicateInFlight, err)
+		case errors.As(err, &oe):
+			writeRetryAfter(w, oe.retryAfter)
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				errors.New("estimated queue wait exceeds the shedding limit; retry later"))
+		default:
 			// Journal failure: the job could not be made durable.
 			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		}
@@ -362,7 +426,9 @@ func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte) {
 			fmt.Errorf("job queue is at capacity (%d queued)", s.queueDepth))
 		return
 	}
-	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	if job.ID != "" {
+		w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	}
 	writeJSON(w, http.StatusAccepted, job)
 }
 

@@ -3,6 +3,7 @@ package cloud
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -76,9 +77,11 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		t.Fatalf("Location = %q", loc)
 	}
 
-	job, err := client.SubmitCompressedAsync(ctx, payload)
+	// Distinct idempotency keys: the raw POST above already owns the
+	// payload-digest key, and these submissions model separate captures.
+	job, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "lifecycle-async")
 	if err != nil {
-		t.Fatalf("SubmitCompressedAsync: %v", err)
+		t.Fatalf("SubmitCompressedAsyncKeyed: %v", err)
 	}
 	if job.ID == "" || job.Status != JobQueued {
 		t.Fatalf("job = %+v", job)
@@ -93,7 +96,7 @@ func TestAsyncJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	syncSub, err := client.SubmitAcquisition(ctx, acq)
+	syncSub, err := client.SubmitAcquisitionKeyed(ctx, acq, "lifecycle-sync")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +145,9 @@ func TestAsyncBackpressure(t *testing.T) {
 	_, payload := testCapture(t, 93, 10)
 
 	// First job: the single worker picks it up and stalls on the gate.
-	j1, err := client.SubmitCompressedAsync(ctx, payload)
+	// Explicit keys keep the three identical payloads from deduplicating —
+	// this test is about queue capacity, not idempotency.
+	j1, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "bp-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +166,12 @@ func TestAsyncBackpressure(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	// Second job fills the depth-1 queue.
-	j2, err := client.SubmitCompressedAsync(ctx, payload)
+	j2, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "bp-2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Third submission must be rejected with 429 + Retry-After.
-	_, err = client.SubmitCompressedAsync(ctx, payload)
+	_, err = client.SubmitCompressedAsyncKeyed(ctx, payload, "bp-3")
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
@@ -215,7 +220,8 @@ func TestSubmitAndPollRidesOutBackpressure(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			subs[i], errs[i] = client.SubmitAndPoll(ctx, payload, 5*time.Millisecond)
+			subs[i], errs[i] = client.SubmitAndPollKeyed(ctx, payload, 5*time.Millisecond,
+				fmt.Sprintf("ride-%d", i))
 		}(i)
 	}
 	wg.Wait()
@@ -281,27 +287,28 @@ func TestConcurrentSubmissionsStress(t *testing.T) {
 	ids := make(chan string, syncN+asyncN)
 	for i := 0; i < syncN; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			sub, err := client.SubmitCompressed(ctx, payload)
+			sub, err := client.SubmitCompressedKeyed(ctx, payload, fmt.Sprintf("stress-sync-%d", i))
 			if err != nil {
 				errCh <- err
 				return
 			}
 			ids <- sub.ID
-		}()
+		}(i)
 	}
 	for i := 0; i < asyncN; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			sub, err := client.SubmitAndPoll(ctx, payload, 5*time.Millisecond)
+			sub, err := client.SubmitAndPollKeyed(ctx, payload, 5*time.Millisecond,
+				fmt.Sprintf("stress-async-%d", i))
 			if err != nil {
 				errCh <- err
 				return
 			}
 			ids <- sub.ID
-		}()
+		}(i)
 	}
 	wg.Wait()
 	close(errCh)

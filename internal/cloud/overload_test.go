@@ -1,0 +1,275 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterTokenBucket drives the limiter with a pinned clock: burst
+// spends, refill restores, and the Retry-After hint covers the deficit.
+func TestRateLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(5000, 0)
+	l := newRateLimiter(2, 2, func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("id:dev"); !ok {
+			t.Fatalf("burst submit %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("id:dev")
+	if ok {
+		t.Fatal("submit beyond burst admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s] at 2 tokens/s", wait)
+	}
+	// Other clients are unaffected (per-client isolation).
+	if ok, _ := l.allow("id:other"); !ok {
+		t.Fatal("fresh client rejected while another is exhausted")
+	}
+	// Refill: after the hinted wait the original client is admitted again.
+	now = now.Add(wait)
+	if ok, _ := l.allow("id:dev"); !ok {
+		t.Fatal("submit after compliant wait rejected")
+	}
+}
+
+// TestRateLimiterSweep: at the bucket cap, fully refilled (idle) buckets are
+// swept so spoofed client ids cannot grow the map without bound.
+func TestRateLimiterSweep(t *testing.T) {
+	now := time.Unix(6000, 0)
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+	for i := 0; i < 10; i++ {
+		l.allow(fmt.Sprintf("id:%d", i))
+	}
+	now = now.Add(time.Minute) // every bucket refills
+	l.mu.Lock()
+	l.sweepLocked(now)
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d refilled buckets survived the sweep", n)
+	}
+}
+
+// TestClientKeyForms covers the three identity forms the limiter keys on.
+func TestClientKeyForms(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if k := clientKey(r); k != "addr:10.1.2.3" {
+		t.Fatalf("host key = %q", k)
+	}
+	r.Header.Set("X-Client-Id", "dongle-7")
+	if k := clientKey(r); k != "id:dongle-7" {
+		t.Fatalf("header key = %q", k)
+	}
+	r.Header.Del("X-Client-Id")
+	r.RemoteAddr = "not-a-hostport"
+	if k := clientKey(r); k != "addr:not-a-hostport" {
+		t.Fatalf("fallback key = %q", k)
+	}
+}
+
+// TestQueueEstimatorWindow: the mean tracks the sliding window, including
+// after the ring wraps, and negative samples are ignored.
+func TestQueueEstimatorWindow(t *testing.T) {
+	var e queueEstimator
+	if e.mean() != 0 {
+		t.Fatal("empty estimator should average to 0")
+	}
+	e.observe(-time.Second)
+	if e.mean() != 0 {
+		t.Fatal("negative sample counted")
+	}
+	e.observe(100 * time.Millisecond)
+	e.observe(300 * time.Millisecond)
+	if m := e.mean(); m != 200*time.Millisecond {
+		t.Fatalf("mean = %v, want 200ms", m)
+	}
+	// Fill the window with 1s samples: the early ones must fall out.
+	for i := 0; i < queueEstimatorWindow; i++ {
+		e.observe(time.Second)
+	}
+	if m := e.mean(); m != time.Second {
+		t.Fatalf("post-wrap mean = %v, want 1s", m)
+	}
+}
+
+// TestRateLimitedSubmitGets429 is the end-to-end contract: past the burst a
+// client sees 429 rate_limited with a Retry-After hint, a compliant retry
+// (the client waits it out) succeeds, and no duplicate analysis is created.
+func TestRateLimitedSubmitGets429(t *testing.T) {
+	svc, err := NewService(ServiceConfig{RateLimit: 2, RateBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+	_, payload := testCapture(t, 121, 10)
+
+	// No retry policy: the raw 429 shape is observable.
+	bare := &Client{BaseURL: ts.URL, ClientID: "dev-1"}
+	if _, err := bare.SubmitCompressedKeyed(ctx, payload, "rl-1"); err != nil {
+		t.Fatalf("burst submit: %v", err)
+	}
+	_, err = bare.SubmitCompressedKeyed(ctx, payload, "rl-2")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %v is not an *APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter <= 0 {
+		t.Fatalf("apiErr = %+v, want 429 with Retry-After", apiErr)
+	}
+
+	// A second client has its own bucket.
+	other := &Client{BaseURL: ts.URL, ClientID: "dev-2"}
+	if _, err := other.SubmitCompressedKeyed(ctx, payload, "rl-other"); err != nil {
+		t.Fatalf("isolated client: %v", err)
+	}
+
+	// Compliant retry: with a retry policy the client honors Retry-After and
+	// the same submission (same key) lands exactly once.
+	retrying := &Client{BaseURL: ts.URL, ClientID: "dev-1",
+		Retry: &RetryPolicy{MaxAttempts: 4, BaseDelay: 20 * time.Millisecond}}
+	start := time.Now()
+	sub, err := retrying.SubmitCompressedKeyed(ctx, payload, "rl-2")
+	if err != nil {
+		t.Fatalf("compliant retry: %v", err)
+	}
+	if sub.ID == "" {
+		t.Fatal("no analysis id from retried submission")
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("client retried after %v; it should have honored the ≥1s Retry-After", waited)
+	}
+
+	m := svc.Snapshot()
+	if m.RateLimited < 1 {
+		t.Fatalf("RateLimited = %d, want ≥1", m.RateLimited)
+	}
+	// Three distinct capture keys succeeded → exactly three analyses.
+	if m.StoredAnalyses != 3 {
+		t.Fatalf("StoredAnalyses = %d, want 3 (no duplicates)", m.StoredAnalyses)
+	}
+}
+
+// TestAdaptiveSheddingPriorityLane: with the wait estimate past MaxQueueWait,
+// async submissions shed with 429 overloaded while sync submissions — the
+// interactive lane — still run until syncShedFactor times the limit, and
+// authentication traffic is never shed.
+func TestAdaptiveSheddingPriorityLane(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Workers: 1, QueueDepth: 8, MaxQueueWait: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	svc.mu.Lock()
+	svc.jobGate = gate
+	// Seed the latency window: recent jobs took 1s each, so one queued job
+	// estimates 1s of wait — past the 300ms async limit, inside the 1.2s
+	// sync limit.
+	svc.queueEst.observe(time.Second)
+	svc.mu.Unlock()
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	client := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	_, payload := testCapture(t, 123, 10)
+
+	// Job A occupies the worker at the gate; job B sits in the queue.
+	ja, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "shed-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobRunning(t, client, ja.ID)
+	if _, err := client.SubmitCompressedAsyncKeyed(ctx, payload, "shed-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Async lane: estimated wait 1s > 300ms → shed.
+	_, err = client.SubmitCompressedAsyncKeyed(ctx, payload, "shed-c")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("async err = %v, want ErrOverloaded", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter <= 0 {
+		t.Fatalf("shed response = %+v, want 429 with Retry-After", err)
+	}
+
+	// Sync lane: 1s ≤ 4×300ms → still served inline.
+	sub, err := client.SubmitCompressedKeyed(ctx, payload, "shed-sync")
+	if err != nil {
+		t.Fatalf("sync submit shed below the priority-lane limit: %v", err)
+	}
+
+	// Authentication is never shed, whatever the queue looks like (404 here:
+	// the analysis exists but no identifier matches — the point is it is not
+	// a 429).
+	if _, err := client.Authenticate(ctx, sub.ID); errors.Is(err, ErrOverloaded) || errors.Is(err, ErrRateLimited) {
+		t.Fatalf("authentication was shed: %v", err)
+	}
+
+	m := svc.Snapshot()
+	if m.Shed < 1 {
+		t.Fatalf("Shed = %d, want ≥1", m.Shed)
+	}
+	if m.QueueDepth != 1 || m.QueueWaitMS != 1000 {
+		t.Fatalf("queue gauges = depth %d wait %dms, want 1 / 1000", m.QueueDepth, m.QueueWaitMS)
+	}
+
+	close(gate)
+	svc.mu.Lock()
+	svc.jobGate = nil
+	svc.mu.Unlock()
+	svc.Close()
+}
+
+// TestSheddingDisabledByDefault: without MaxQueueWait nothing sheds, however
+// grim the estimate.
+func TestSheddingDisabledByDefault(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	svc.mu.Lock()
+	svc.queueEst.observe(time.Hour)
+	_, shed := svc.shedLocked(false)
+	svc.mu.Unlock()
+	if shed {
+		t.Fatal("service shed with MaxQueueWait unset")
+	}
+}
+
+// TestOversizedUploadFast413: MaxBytesReader cuts the read at the limit and
+// the service answers 413 payload_too_large. The limit is shrunk so the test
+// does not ship a gigabyte.
+func TestOversizedUploadFast413(t *testing.T) {
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	svc.uploadLimit = 1024
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	_, err = (&Client{BaseURL: ts.URL}).SubmitCompressed(context.Background(), make([]byte, 2048))
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload error = %v, want 413", err)
+	}
+}

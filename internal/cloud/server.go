@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,12 +48,26 @@ type Service struct {
 	// analyze runs the DSP pipeline; tests override it to inject panics
 	// and stalls.
 	analyze func(lockin.Acquisition, AnalysisConfig) (Report, error)
+	// limiter is the per-client submit rate limiter (nil = disabled).
+	limiter *rateLimiter
+	// maxQueueWait is the load-shedding limit on the estimated queue wait
+	// (0 = shedding disabled).
+	maxQueueWait time.Duration
+	// uploadLimit is maxUploadBytes, overridable by tests that exercise the
+	// 413 path without gigabyte payloads.
+	uploadLimit int64
 
 	mu       sync.RWMutex
 	analyses map[string]*storedAnalysis
 	byUser   map[string][]string
 	nextID   int
 	metrics  Metrics
+	// Exactly-once ingestion (dedup.go): capture key → owning work.
+	dedup           map[string]*dedupEntry
+	dedupSeq        int64
+	maxDedupEntries int
+	// queueEst feeds the load shedder (overload.go).
+	queueEst queueEstimator
 
 	// Async job machinery (jobs.go).
 	jobs      map[string]*queuedJob
@@ -116,6 +131,25 @@ type ServiceConfig struct {
 	// FS abstracts the state-directory filesystem; nil uses the real OS
 	// filesystem. Chaos tests plug a faultinject.FaultyFS here.
 	FS faultinject.FS
+	// RateLimit, when positive, enforces a per-client token-bucket limit on
+	// uploads (sync and async alike): sustained submissions per second,
+	// answered with 429 rate_limited + Retry-After beyond it. Clients are
+	// keyed by the X-Client-Id header, falling back to the remote host.
+	// 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity — how many submits a client
+	// may burst before the sustained rate applies (0 → max(1, ⌈2×RateLimit⌉)).
+	RateBurst int
+	// MaxQueueWait, when positive, enables adaptive load shedding: async
+	// submissions are shed with 429 overloaded + Retry-After once the
+	// estimated queue wait (depth × sliding-window mean job latency ÷
+	// workers) passes it. Sync submissions ride a priority lane (shed only
+	// past syncShedFactor× the limit); authentication is never shed.
+	// 0 disables shedding.
+	MaxQueueWait time.Duration
+	// MaxDedupEntries caps the idempotency index; the oldest completed
+	// entries are evicted beyond it (0 → 65536, negative → unbounded).
+	MaxDedupEntries int
 }
 
 // NewService builds the analysis service.
@@ -146,6 +180,21 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.Workers < 0 || cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("cloud: negative workers %d or queue depth %d", cfg.Workers, cfg.QueueDepth)
 	}
+	if cfg.RateLimit < 0 || cfg.RateBurst < 0 {
+		return nil, fmt.Errorf("cloud: negative rate limit %v or burst %d", cfg.RateLimit, cfg.RateBurst)
+	}
+	if cfg.MaxQueueWait < 0 {
+		return nil, fmt.Errorf("cloud: negative max queue wait %v", cfg.MaxQueueWait)
+	}
+	if cfg.RateLimit > 0 && cfg.RateBurst == 0 {
+		cfg.RateBurst = int(math.Ceil(2 * cfg.RateLimit))
+		if cfg.RateBurst < 1 {
+			cfg.RateBurst = 1
+		}
+	}
+	if cfg.MaxDedupEntries == 0 {
+		cfg.MaxDedupEntries = defaultMaxDedupEntries
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -171,20 +220,32 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		queueDepth:      cfg.QueueDepth,
 		fs:              cfg.FS,
 		jobTimeout:      cfg.JobTimeout,
+		maxQueueWait:    cfg.MaxQueueWait,
+		uploadLimit:     maxUploadBytes,
 		jobTTL:          cfg.JobTTL,
 		maxTerminalJobs: cfg.MaxTerminalJobs,
+		maxDedupEntries: cfg.MaxDedupEntries,
 		now:             time.Now,
 		analyze:         Analyze,
 		analyses:        make(map[string]*storedAnalysis),
 		byUser:          make(map[string][]string),
 		jobs:            make(map[string]*queuedJob),
+		dedup:           make(map[string]*dedupEntry),
 		jobStop:         make(chan struct{}),
+	}
+	if cfg.RateLimit > 0 {
+		// The closure routes through s.now so tests that pin the service
+		// clock pin the limiter too.
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst, func() time.Time { return s.now() })
 	}
 	if err := s.loadState(); err != nil {
 		return nil, err
 	}
 	pending, err := s.loadJobs()
 	if err != nil {
+		return nil, err
+	}
+	if err := s.loadDedup(); err != nil {
 		return nil, err
 	}
 	// The channel must hold every recovered job on top of a full queue of
@@ -265,26 +326,86 @@ type SubmitResponse struct {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if !s.admitSubmit(w, r) {
+		return
+	}
+	// MaxBytesReader fails the read at the limit — an oversized upload gets
+	// its 413 as soon as the limit is crossed instead of being buffered to
+	// the end first (and the server closes the connection on it).
+	r.Body = http.MaxBytesReader(w, r.Body, s.uploadLimit)
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Errorf("upload exceeds the %d byte limit", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("reading upload: %w", err))
 		return
 	}
-	if len(body) > maxUploadBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, errors.New("upload exceeds limit"))
+	key, err := captureKeyFor(r.Header.Get("Idempotency-Key"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	switch async := r.URL.Query().Get("async"); async {
 	case "", "0", "false":
 	case "1", "true":
-		s.handleSubmitAsync(w, body)
+		s.handleSubmitAsync(w, body, key)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad async parameter %q", async))
 		return
 	}
+	s.handleSubmitSync(w, body, key)
+}
+
+// handleSubmitSync runs the inline analysis with the idempotency index
+// wrapped around it: a duplicate of a completed capture answers 200 with the
+// original result, a duplicate of in-flight work answers 409
+// duplicate_in_flight + Retry-After, and only a genuinely new capture — one
+// that also survives the priority-lane shed check — is analyzed.
+func (s *Service) handleSubmitSync(w http.ResponseWriter, body []byte, key string) {
+	s.mu.Lock()
+	analysisID, job, outcome := s.claimCaptureLocked(key)
+	var report Report
+	if outcome == claimDone {
+		report = s.analyses[analysisID].Report
+	}
+	var shedAfter time.Duration
+	var shed bool
+	if outcome == claimNew {
+		if shedAfter, shed = s.shedLocked(true); shed {
+			s.releaseCaptureLocked(key)
+		}
+	}
+	s.mu.Unlock()
+	switch outcome {
+	case claimDone:
+		// 200, not 201: nothing new was created.
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: analysisID, Report: report})
+		return
+	case claimInFlight, claimJob:
+		if job.ID != "" {
+			w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+		}
+		writeRetryAfter(w, retryAfterSeconds*time.Second)
+		writeError(w, http.StatusConflict, CodeDuplicateInFlight,
+			errors.New("an identical capture is already being analyzed; retry for its result"))
+		return
+	}
+	if shed {
+		writeRetryAfter(w, shedAfter)
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			errors.New("estimated queue wait exceeds the shedding limit; retry later"))
+		return
+	}
 	report, code, err := s.runAnalysis(body)
 	if err != nil {
+		s.mu.Lock()
+		s.releaseCaptureLocked(key)
+		s.mu.Unlock()
 		s.countUploadError()
 		status := http.StatusInternalServerError
 		switch code {
@@ -298,6 +419,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	id, err := s.storeReportLocked(report)
+	if err == nil {
+		s.completeCaptureLocked(key, id)
+	} else {
+		// The analysis was never stored: release the claim so a retry can
+		// run the capture again.
+		s.releaseCaptureLocked(key)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err)
@@ -560,6 +688,20 @@ type Metrics struct {
 	JobsEvicted      int64 `json:"jobs_evicted"`
 	JobsRecovered    int64 `json:"jobs_recovered"`
 	JobJournalErrors int64 `json:"job_journal_errors"`
+	// Overload-protection and idempotency counters: submissions bounced by
+	// the per-client rate limiter, submissions shed by the queue-wait
+	// estimator, duplicates answered from the idempotency index, and index
+	// journal writes that failed (best-effort: that capture may re-run once
+	// after a crash).
+	RateLimited        int64 `json:"rate_limited"`
+	Shed               int64 `json:"shed"`
+	DedupHits          int64 `json:"dedup_hits"`
+	DedupJournalErrors int64 `json:"dedup_journal_errors"`
+	// Point-in-time gauges: idempotency index size, jobs waiting for a
+	// worker, and the shedder's current queue-wait estimate.
+	DedupEntries int   `json:"dedup_entries"`
+	QueueDepth   int   `json:"queue_depth"`
+	QueueWaitMS  int64 `json:"queue_wait_ms"`
 }
 
 // Snapshot returns the current counters.
@@ -569,6 +711,9 @@ func (s *Service) Snapshot() Metrics {
 	m := s.metrics
 	m.StoredAnalyses = len(s.analyses)
 	m.EnrolledUsers = s.registry.Len()
+	m.DedupEntries = len(s.dedup)
+	m.QueueDepth = len(s.jobCh)
+	m.QueueWaitMS = s.estQueueWaitLocked().Milliseconds()
 	return m
 }
 

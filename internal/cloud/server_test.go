@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -205,7 +206,9 @@ func TestListAnalyses(t *testing.T) {
 	}
 	var ids []string
 	for i := 0; i < 3; i++ {
-		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		// Distinct keys: each loop iteration models a separate capture that
+		// happens to carry identical bytes, not a retry of one capture.
+		sub, err := client.SubmitAcquisitionKeyed(ctx, res.Acquisition, fmt.Sprintf("list-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -405,7 +408,7 @@ func TestListAnalysesPagination(t *testing.T) {
 	}
 	var all []string
 	for i := 0; i < 5; i++ {
-		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		sub, err := client.SubmitAcquisitionKeyed(ctx, res.Acquisition, fmt.Sprintf("page-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -472,7 +475,7 @@ func TestUserAnalysesPagination(t *testing.T) {
 	}
 	var linked []string
 	for i := 0; i < 3; i++ {
-		sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+		sub, err := client.SubmitAcquisitionKeyed(ctx, res.Acquisition, fmt.Sprintf("user-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}

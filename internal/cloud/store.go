@@ -75,6 +75,9 @@ type persistedJob struct {
 	// DoneAtUnix is the terminal-transition time, the retention clock.
 	DoneAtUnix int64  `json:"done_at_unix,omitempty"`
 	Payload    []byte `json:"payload,omitempty"`
+	// CaptureKey is the idempotency key that owns the job, so a recovered
+	// job still updates the dedup index when it finishes.
+	CaptureKey string `json:"capture_key,omitempty"`
 }
 
 // jobFilePrefix distinguishes job journal documents from analysis documents
@@ -99,6 +102,7 @@ func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
 		AnalysisID: qj.AnalysisID,
 		ErrorCode:  qj.ErrorCode,
 		Error:      qj.Error,
+		CaptureKey: qj.captureKey,
 	}
 	if !qj.startedAt.IsZero() {
 		doc.StartedAtUnix = qj.startedAt.Unix()
@@ -166,7 +170,7 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			AnalysisID: doc.AnalysisID,
 			ErrorCode:  doc.ErrorCode,
 			Error:      doc.Error,
-		}}
+		}, captureKey: doc.CaptureKey}
 		switch {
 		case doc.Status.Terminal():
 			qj.doneAt = time.Unix(doc.DoneAtUnix, 0)
@@ -220,7 +224,8 @@ func (s *Service) loadState() error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, jobFilePrefix) {
+		if e.IsDir() || !strings.HasSuffix(name, ".json") ||
+			strings.HasPrefix(name, jobFilePrefix) || strings.HasPrefix(name, dedupFilePrefix) {
 			continue
 		}
 		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))

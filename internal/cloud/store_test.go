@@ -53,7 +53,10 @@ func TestAnalysesSurviveRestart(t *testing.T) {
 	if got.PeakCount != sub.Report.PeakCount {
 		t.Fatalf("restored report differs: %d vs %d", got.PeakCount, sub.Report.PeakCount)
 	}
-	sub2, err := client2.SubmitAcquisition(ctx, res.Acquisition)
+	// A *new* capture (distinct idempotency key — the identical bytes would
+	// otherwise dedup to the journaled pre-restart analysis) continues the
+	// id sequence.
+	sub2, err := client2.SubmitAcquisitionKeyed(ctx, res.Acquisition, "second-capture")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -283,9 +283,11 @@ func runChaosSoak(t *testing.T, seed int64) {
 		t.Fatalf("captures parked as corrupt: %v", parked)
 	}
 
-	// Verification through a clean client: every reference report must be
-	// stored bitwise-identically (duplicates from ambiguous retries are
-	// fine — better twice than never).
+	// Verification through a clean client: exactly one stored analysis per
+	// logical capture, each bitwise identical to the fault-free reference.
+	// Ambiguous retries — a response torn mid-body, a replay from the spool —
+	// dedup on the payload digest, so "better twice than never" tightened to
+	// exactly-once the moment the index landed.
 	clean := &cloud.Client{BaseURL: ts.URL}
 	list, err := clean.ListAnalyses(ctx)
 	if err != nil {
@@ -303,12 +305,143 @@ func runChaosSoak(t *testing.T, seed int64) {
 		}
 		stored[string(data)]++
 	}
-	if len(list) < captures {
-		t.Fatalf("cloud stores %d analyses, want at least %d", len(list), captures)
+	if len(list) != captures {
+		t.Fatalf("cloud stores %d analyses, want exactly %d", len(list), captures)
 	}
 	for i, pair := range pairs {
-		if stored[pair.reference] == 0 {
-			t.Errorf("capture %d: no stored report is bitwise identical to the fault-free analysis", i)
+		if n := stored[pair.reference]; n != 1 {
+			t.Errorf("capture %d: %d stored reports bitwise identical to the fault-free analysis, want exactly 1", i, n)
 		}
 	}
+}
+
+// TestDuplicateStormSoak hammers the dedup index from the client side: many
+// goroutines — sync uploads, async submit-and-poll, raw spool-style replays —
+// all delivering the SAME capture concurrently, through an HTTP layer that
+// resets connections, injects 5xx, and tears response bodies. Every attempt
+// is a legitimate retry of one logical capture, so however the race falls the
+// service must store exactly one analysis and hand every winner the same id.
+func TestDuplicateStormSoak(t *testing.T) {
+	clients := 12
+	roundsPer := 4
+	if testing.Short() {
+		clients = 6
+		roundsPer = 2
+	}
+	ctx := context.Background()
+
+	acq, payload := soakCapture(t, 4242)
+	reference, err := cloud.Analyze(acq, cloud.DefaultAnalysisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := cloud.NewService(cloud.ServiceConfig{
+		StateDir: t.TempDir(),
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+
+	ids := make(chan string, clients*roundsPer)
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			// Per-goroutine faulty transport: each client sees its own fault
+			// schedule, so retries interleave differently every seed.
+			rt := faultinject.NewRoundTripper(nil, faultinject.HTTPConfig{
+				Seed:         int64(c) + 1,
+				ResetRate:    0.2,
+				FiveXXRate:   0.15,
+				TruncateRate: 0.15,
+				MaxFaults:    6,
+			})
+			client := &cloud.Client{
+				BaseURL:        ts.URL,
+				HTTPClient:     &http.Client{Transport: rt},
+				AttemptTimeout: 10 * time.Second,
+				Retry:          &cloud.RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond},
+			}
+			key := cloud.CaptureKey(payload)
+			for round := 0; round < roundsPer; round++ {
+				var id string
+				var err error
+				switch (c + round) % 3 {
+				case 0: // sync upload, as the phone's live path sends it
+					var sub cloud.SubmitResponse
+					sub, err = client.SubmitCompressedKeyed(ctx, payload, key)
+					id = sub.ID
+				case 1: // async submit-and-poll
+					var sub cloud.SubmitResponse
+					sub, err = client.SubmitAndPollKeyed(ctx, payload, 5*time.Millisecond, key)
+					id = sub.ID
+				default: // spool replay: unkeyed, the digest fallback dedups
+					var sub cloud.SubmitResponse
+					sub, err = client.SubmitCompressed(ctx, payload)
+					id = sub.ID
+				}
+				if err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", c, round, err)
+					return
+				}
+				ids <- id
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(ids)
+
+	// Every winner got the same analysis id.
+	first := ""
+	for id := range ids {
+		if id == "" {
+			t.Fatal("a submission returned no analysis id")
+		}
+		if first == "" {
+			first = id
+		} else if id != first {
+			t.Fatalf("divergent analysis ids: %s vs %s", first, id)
+		}
+	}
+
+	// Exactly one analysis stored, bitwise identical to the reference.
+	clean := &cloud.Client{BaseURL: ts.URL}
+	list, err := clean.ListAnalyses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("cloud stores %d analyses after the storm, want exactly 1", len(list))
+	}
+	report, err := clean.GetReport(ctx, list[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refJSON) {
+		t.Fatal("stored report diverged from the fault-free reference analysis")
+	}
+
+	m := svc.Snapshot()
+	if m.DedupHits == 0 {
+		t.Fatal("the storm produced no dedup hits")
+	}
+	t.Logf("storm: %d clients × %d rounds → 1 analysis, %d dedup hits", clients, roundsPer, m.DedupHits)
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"medsen/internal/cloud"
@@ -97,6 +98,47 @@ type Relay struct {
 	// the offline queue without paying a transfer plus a timeout each,
 	// and a half-open probe after the cooldown restores live uploads.
 	Breaker *Breaker
+
+	// Counters behind Metrics, updated atomically (a relay is shared
+	// between the accessory daemon and flush paths).
+	liveSubmits    int64
+	submitFailures int64
+	spooled        int64
+	backlogFlushed int64
+}
+
+// RelayMetrics is a point-in-time snapshot of the relay's upload counters
+// and circuit-breaker state, the phone-side counterpart of the cloud
+// service's /metrics document.
+type RelayMetrics struct {
+	// LiveSubmits counts captures delivered over the live path (including
+	// async submit-and-poll completions).
+	LiveSubmits int64 `json:"live_submits"`
+	// SubmitFailures counts live submissions that returned an error.
+	SubmitFailures int64 `json:"submit_failures"`
+	// Spooled counts captures diverted to the offline queue.
+	Spooled int64 `json:"spooled"`
+	// BacklogFlushed counts spooled captures later shipped by the
+	// post-recovery flush inside SubmitOrSpool.
+	BacklogFlushed int64 `json:"backlog_flushed"`
+	// BreakerState is "closed", "open" or "half-open" ("closed" when the
+	// relay has no breaker: the live path is always admitted).
+	BreakerState string `json:"breaker_state"`
+}
+
+// Metrics returns a snapshot of the relay's counters and breaker state.
+func (r *Relay) Metrics() RelayMetrics {
+	m := RelayMetrics{
+		LiveSubmits:    atomic.LoadInt64(&r.liveSubmits),
+		SubmitFailures: atomic.LoadInt64(&r.submitFailures),
+		Spooled:        atomic.LoadInt64(&r.spooled),
+		BacklogFlushed: atomic.LoadInt64(&r.backlogFlushed),
+		BreakerState:   BreakerClosed.String(),
+	}
+	if r.Breaker != nil {
+		m.BreakerState = r.Breaker.State().String()
+	}
+	return m
 }
 
 func (r *Relay) progress(format string, args ...any) {
@@ -147,15 +189,30 @@ func (r *Relay) Upload(ctx context.Context, acq lockin.Acquisition) (cloud.Submi
 // configured mode: the synchronous upload, or the async job API with
 // polling (which rides out queue-full backpressure and — because accepted
 // jobs are journaled server-side — an analysis-service restart mid-poll).
+//
+// Every submission carries the payload's content-derived idempotency key
+// (cloud.CaptureKey), so a retry of the same capture — here, from the
+// offline queue, or from a fresh process after a phone crash — dedups
+// server-side instead of producing a second analysis.
 func (r *Relay) Submit(ctx context.Context, payload []byte) (cloud.SubmitResponse, error) {
 	if r.Client == nil {
 		return cloud.SubmitResponse{}, errors.New("phone: relay has no cloud client")
 	}
+	key := cloud.CaptureKey(payload)
+	var sub cloud.SubmitResponse
+	var err error
 	if r.Async {
 		r.progress("submitted async; polling for the analysis result")
-		return r.Client.SubmitAndPoll(ctx, payload, r.PollInterval)
+		sub, err = r.Client.SubmitAndPollKeyed(ctx, payload, r.PollInterval, key)
+	} else {
+		sub, err = r.Client.SubmitCompressedKeyed(ctx, payload, key)
 	}
-	return r.Client.SubmitCompressed(ctx, payload)
+	if err != nil {
+		atomic.AddInt64(&r.submitFailures, 1)
+		return sub, err
+	}
+	atomic.AddInt64(&r.liveSubmits, 1)
+	return sub, nil
 }
 
 // Analyze implements the controller's Analyzer port: it relays the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"medsen/internal/cloud"
+	"medsen/internal/csvio"
 	"medsen/internal/drbg"
 	"medsen/internal/lockin"
 	"medsen/internal/microfluidic"
@@ -15,13 +16,20 @@ import (
 )
 
 func testAcquisition(t *testing.T) lockin.Acquisition {
+	return testAcquisitionSeeded(t, 81)
+}
+
+// testAcquisitionSeeded returns a deterministic acquisition whose bytes vary
+// with the seed — submissions now dedup on the payload digest, so a test
+// that models N separate captures needs N distinct seeds.
+func testAcquisitionSeeded(t *testing.T, seed uint64) lockin.Acquisition {
 	t.Helper()
 	s := sensor.NewDefault()
 	s.Loss = microfluidic.LossModel{Disabled: true}
 	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
 		microfluidic.TypeBloodCell: 300,
 	})
-	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(81))
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 30}, drbg.NewFromSeed(seed))
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
@@ -161,6 +169,50 @@ func TestUploadAsyncPollsJobToCompletion(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no polling progress line in %v", progress)
+	}
+}
+
+// TestRelayMetrics: the phone-side counters track live submissions, failures,
+// spooling and backlog flushes, and report the breaker state by name.
+func TestRelayMetrics(t *testing.T) {
+	client, down := flakyCloud(t)
+	relay := &Relay{Client: client, Uplink: Default4G(),
+		Breaker: &Breaker{Threshold: 100}} // high threshold: never trips here
+	q := &OfflineQueue{Dir: t.TempDir()}
+	ctx := context.Background()
+
+	if m := relay.Metrics(); m != (RelayMetrics{BreakerState: "closed"}) {
+		t.Fatalf("fresh relay metrics = %+v", m)
+	}
+
+	payload, err := csvio.CompressAcquisition(testAcquisitionSeeded(t, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relay.Submit(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	down.Store(true)
+	if _, queued, err := relay.SubmitOrSpool(ctx, payload, q); err != nil || !queued {
+		t.Fatalf("outage submit: queued=%v err=%v", queued, err)
+	}
+	down.Store(false)
+	// The next live submit flushes the one spooled entry first.
+	if _, queued, err := relay.SubmitOrSpool(ctx, payload, q); err != nil || queued {
+		t.Fatalf("recovery submit: queued=%v err=%v", queued, err)
+	}
+
+	m := relay.Metrics()
+	want := RelayMetrics{LiveSubmits: 2, SubmitFailures: 1, Spooled: 1,
+		BacklogFlushed: 1, BreakerState: "closed"}
+	if m != want {
+		t.Fatalf("metrics = %+v, want %+v", m, want)
+	}
+
+	// No breaker: the state still reads "closed" rather than empty.
+	if s := (&Relay{}).Metrics().BreakerState; s != "closed" {
+		t.Fatalf("breakerless state = %q", s)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"medsen/internal/cloud"
 	"medsen/internal/csvio"
@@ -186,7 +187,11 @@ func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, er
 			}
 			continue
 		}
-		if _, err := client.SubmitCompressed(ctx, payload); err != nil {
+		// The content-derived key makes replays harmless: an entry the
+		// service already analyzed (a crash between the upload and the
+		// spool-file removal, or an ambiguous torn response) dedups to the
+		// original analysis instead of double-counting the capture.
+		if _, err := client.SubmitCompressedKeyed(ctx, payload, cloud.CaptureKey(payload)); err != nil {
 			if permanentUploadError(err) {
 				if perr := q.park(name); perr != nil {
 					return flushed, fmt.Errorf("phone: parking rejected entry %s: %w", name, perr)
@@ -231,6 +236,7 @@ func (r *Relay) SubmitOrSpool(ctx context.Context, payload []byte, q *OfflineQue
 			if r.Breaker != nil {
 				r.Breaker.Success()
 				if n, ferr := q.Flush(ctx, r.Client); ferr == nil && n > 0 {
+					atomic.AddInt64(&r.backlogFlushed, int64(n))
 					r.progress("connectivity restored, flushed %d spooled captures", n)
 				}
 			}
@@ -245,6 +251,7 @@ func (r *Relay) SubmitOrSpool(ctx context.Context, payload []byte, q *OfflineQue
 	if qErr != nil {
 		return cloud.SubmitResponse{}, false, fmt.Errorf("phone: upload failed and spooling failed: %w", qErr)
 	}
+	atomic.AddInt64(&r.spooled, 1)
 	r.progress("capture spooled as %s", name)
 	return cloud.SubmitResponse{}, true, nil
 }

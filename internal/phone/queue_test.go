@@ -78,11 +78,11 @@ func TestUploadOrQueueSpoolsOnOutageAndFlushes(t *testing.T) {
 	client, down := flakyCloud(t)
 	relay := &Relay{Client: client, Uplink: Default4G()}
 	q := &OfflineQueue{Dir: t.TempDir()}
-	acq := testAcquisition(t)
 	ctx := context.Background()
 
-	// Live path first.
-	sub, queued, err := relay.UploadOrQueue(ctx, acq, q)
+	// Live path first. Each upload is a distinct capture (distinct seeds):
+	// identical bytes would dedup server-side into one analysis.
+	sub, queued, err := relay.UploadOrQueue(ctx, testAcquisitionSeeded(t, 81), q)
 	if err != nil || queued {
 		t.Fatalf("live upload: sub=%+v queued=%v err=%v", sub, queued, err)
 	}
@@ -93,7 +93,7 @@ func TestUploadOrQueueSpoolsOnOutageAndFlushes(t *testing.T) {
 	// Outage: captures spool instead of failing.
 	down.Store(true)
 	for i := 0; i < 2; i++ {
-		_, queued, err := relay.UploadOrQueue(ctx, acq, q)
+		_, queued, err := relay.UploadOrQueue(ctx, testAcquisitionSeeded(t, 82+uint64(i)), q)
 		if err != nil {
 			t.Fatalf("outage upload %d: %v", i, err)
 		}
@@ -132,6 +132,53 @@ func TestUploadOrQueueSpoolsOnOutageAndFlushes(t *testing.T) {
 	}
 	if len(list) != 3 {
 		t.Fatalf("cloud has %d analyses, want 3", len(list))
+	}
+}
+
+// TestFlushReplayDedupsToOriginalAnalysis models the crash window the spool
+// leaves open: the upload succeeded but the process died before the spool
+// file was removed, so the next flush replays the entry. The content-derived
+// capture key maps the replay to the pre-crash analysis instead of
+// double-counting the capture.
+func TestFlushReplayDedupsToOriginalAnalysis(t *testing.T) {
+	client, _ := flakyCloud(t)
+	relay := &Relay{Client: client, Uplink: Default4G()}
+	ctx := context.Background()
+
+	payload, err := csvio.CompressAcquisition(testAcquisitionSeeded(t, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := relay.Submit(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": the shipped capture is still sitting in the spool when the
+	// next process comes up and flushes.
+	q := &OfflineQueue{Dir: t.TempDir()}
+	if _, err := q.Enqueue(payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := q.Flush(ctx, client)
+	if err != nil {
+		t.Fatalf("replay flush: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("flushed %d, want 1", n)
+	}
+	if names, _ := q.Pending(); len(names) != 0 {
+		t.Fatalf("spool not drained: %v", names)
+	}
+	list, err := client.ListAnalyses(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("cloud has %d analyses, want 1 (replay deduped)", len(list))
+	}
+	if list[0].ID != sub.ID {
+		t.Fatalf("surviving analysis %s, want the pre-crash %s", list[0].ID, sub.ID)
 	}
 }
 

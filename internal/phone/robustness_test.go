@@ -217,15 +217,21 @@ func TestSubmitOrSpoolBreaker(t *testing.T) {
 	breaker := &Breaker{Threshold: 2, Cooldown: 10 * time.Second, now: func() time.Time { return clock }}
 	relay := &Relay{Client: &cloud.Client{BaseURL: ts.URL}, Breaker: breaker}
 	q := &OfflineQueue{Dir: t.TempDir()}
-	payload, err := csvio.CompressAcquisition(testAcquisition(t))
-	if err != nil {
-		t.Fatal(err)
+	// Four distinct captures (distinct seeds): identical payloads would
+	// dedup server-side into one analysis once the backlog flushes.
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		p, err := csvio.CompressAcquisition(testAcquisitionSeeded(t, 81+uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = p
 	}
 	ctx := context.Background()
 
 	down.Store(true)
 	for i := 0; i < 2; i++ {
-		_, queued, err := relay.SubmitOrSpool(ctx, payload, q)
+		_, queued, err := relay.SubmitOrSpool(ctx, payloads[i], q)
 		if err != nil || !queued {
 			t.Fatalf("outage submit %d: queued=%v err=%v", i, queued, err)
 		}
@@ -236,7 +242,7 @@ func TestSubmitOrSpoolBreaker(t *testing.T) {
 
 	// Tripped: the next capture spools without a network attempt.
 	before := requests.Load()
-	_, queued, err := relay.SubmitOrSpool(ctx, payload, q)
+	_, queued, err := relay.SubmitOrSpool(ctx, payloads[2], q)
 	if err != nil || !queued {
 		t.Fatalf("tripped submit: queued=%v err=%v", queued, err)
 	}
@@ -251,7 +257,7 @@ func TestSubmitOrSpoolBreaker(t *testing.T) {
 	// closes, and the backlog flushes.
 	down.Store(false)
 	clock = clock.Add(11 * time.Second)
-	sub, queued, err := relay.SubmitOrSpool(ctx, payload, q)
+	sub, queued, err := relay.SubmitOrSpool(ctx, payloads[3], q)
 	if err != nil || queued {
 		t.Fatalf("recovery submit: queued=%v err=%v", queued, err)
 	}
