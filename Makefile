@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json bench-compare fuzz vet fmt experiments clean
 
 all: build test
 
@@ -24,6 +24,14 @@ race:
 # One testing.B pass per paper figure/experiment (quick scale).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Refresh the committed hot-path baseline (run on a quiet machine).
+bench-json:
+	$(GO) run ./cmd/medsen-bench -json BENCH_5.json
+
+# Re-measure the hot paths and fail on a regression vs. the baseline.
+bench-compare:
+	$(GO) run ./cmd/medsen-bench -compare BENCH_5.json
 
 # Short fuzz passes over every wire-format parser.
 fuzz:

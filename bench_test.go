@@ -27,6 +27,7 @@ func benchOpts(i int) experiments.Options {
 }
 
 func BenchmarkFig07SinglePeak(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig07SingleCellDrop(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -35,6 +36,7 @@ func BenchmarkFig07SinglePeak(b *testing.B) {
 }
 
 func BenchmarkFig08FivePeak(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig08FivePeakSignature(benchOpts(i))
 		if err != nil {
@@ -47,6 +49,7 @@ func BenchmarkFig08FivePeak(b *testing.B) {
 }
 
 func BenchmarkFig11EncryptedSignatures(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig11EncryptedSignatures(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -55,6 +58,7 @@ func BenchmarkFig11EncryptedSignatures(b *testing.B) {
 }
 
 func BenchmarkFig12BeadCount780(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig12BeadCounts780(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -63,6 +67,7 @@ func BenchmarkFig12BeadCount780(b *testing.B) {
 }
 
 func BenchmarkFig13BeadCount358(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig13BeadCounts358(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -71,10 +76,12 @@ func BenchmarkFig13BeadCount358(b *testing.B) {
 }
 
 func BenchmarkFig14PeakAnalysisComputer(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkFig14Profile(b, false)
 }
 
 func BenchmarkFig14PeakAnalysisSmartphone(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkFig14Profile(b, true)
 }
 
@@ -98,6 +105,7 @@ func benchmarkFig14Profile(b *testing.B, phone bool) {
 }
 
 func BenchmarkFig15ImpedanceSpectra(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig15ImpedanceSpectra(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -106,6 +114,7 @@ func BenchmarkFig15ImpedanceSpectra(b *testing.B) {
 }
 
 func BenchmarkFig16Clusters(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig16Clusters(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -114,6 +123,7 @@ func BenchmarkFig16Clusters(b *testing.B) {
 }
 
 func BenchmarkKeyGeneration(b *testing.B) {
+	b.ReportAllocs()
 	// Eq. 2 context: generating the practical epoch schedule for a
 	// 10-minute acquisition.
 	params := cipher.DefaultParams()
@@ -127,6 +137,7 @@ func BenchmarkKeyGeneration(b *testing.B) {
 }
 
 func BenchmarkCompression(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.CompressionExperiment(benchOpts(i))
 		if err != nil {
@@ -139,6 +150,7 @@ func BenchmarkCompression(b *testing.B) {
 }
 
 func BenchmarkEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.EndToEndTiming(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -147,6 +159,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 }
 
 func BenchmarkAuthAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AuthAccuracy(benchOpts(i))
 		if err != nil {
@@ -159,6 +172,7 @@ func BenchmarkAuthAccuracy(b *testing.B) {
 }
 
 func BenchmarkAblationGainRandomization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.GainRandomizationAblation(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -167,6 +181,7 @@ func BenchmarkAblationGainRandomization(b *testing.B) {
 }
 
 func BenchmarkAblationSpeedRandomization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.SpeedRandomizationAblation(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -175,6 +190,7 @@ func BenchmarkAblationSpeedRandomization(b *testing.B) {
 }
 
 func BenchmarkAblationEpochLength(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.EpochLengthAblation(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -183,6 +199,7 @@ func BenchmarkAblationEpochLength(b *testing.B) {
 }
 
 func BenchmarkAblationDetrend(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.DetrendAblation(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -194,6 +211,7 @@ func BenchmarkAblationDetrend(b *testing.B) {
 // the public API (key generation, simulated acquisition, analysis,
 // decryption, diagnosis).
 func BenchmarkDiagnosticLocal(b *testing.B) {
+	b.ReportAllocs()
 	device, err := medsen.NewDevice(medsen.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
@@ -214,6 +232,7 @@ func BenchmarkDiagnosticLocal(b *testing.B) {
 // BenchmarkDecrypt isolates the controller's decryption cost (the paper:
 // "light computation" suitable for the resource-constrained controller).
 func BenchmarkDecrypt(b *testing.B) {
+	b.ReportAllocs()
 	peaks, sched, arr, err := experiments.DecryptionWorkload(2016)
 	if err != nil {
 		b.Fatal(err)
@@ -227,6 +246,7 @@ func BenchmarkDecrypt(b *testing.B) {
 }
 
 func BenchmarkFig05DesignComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.DesignComparison(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -235,6 +255,7 @@ func BenchmarkFig05DesignComparison(b *testing.B) {
 }
 
 func BenchmarkRepeatability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Repeatability(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -243,6 +264,7 @@ func BenchmarkRepeatability(b *testing.B) {
 }
 
 func BenchmarkAblationNoiseRobustness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.NoiseRobustness(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -251,6 +273,7 @@ func BenchmarkAblationNoiseRobustness(b *testing.B) {
 }
 
 func BenchmarkAblationSchemeComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.SchemeComparison(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -283,6 +306,10 @@ func benchAcquisition8(b *testing.B, durationS float64) lockin.Acquisition {
 // embarrassingly parallel); outputs are bitwise identical either way.
 func BenchmarkCloudAnalyze(b *testing.B) {
 	acq := benchAcquisition8(b, 300)
+	var sampleBytes int64
+	for _, tr := range acq.Traces {
+		sampleBytes += int64(len(tr.Samples)) * 8
+	}
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -291,6 +318,8 @@ func BenchmarkCloudAnalyze(b *testing.B) {
 		{"parallel", 0}, // 0 → GOMAXPROCS
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(sampleBytes)
 			cfg := cloud.DefaultAnalysisConfig()
 			cfg.Workers = bc.workers
 			b.ResetTimer()
@@ -318,6 +347,8 @@ func BenchmarkDetrendWorkers(b *testing.B) {
 			name = "gomaxprocs"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(tr.Samples)) * 8)
 			for i := 0; i < b.N; i++ {
 				if _, err := sigproc.DetrendWorkers(tr, sigproc.DefaultDetrendConfig(), workers); err != nil {
 					b.Fatal(err)

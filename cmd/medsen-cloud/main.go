@@ -22,6 +22,7 @@
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
 //	             [-job-timeout D] [-rate-limit N] [-rate-burst N] [-max-queue-wait D]
 //	             [-read-timeout D] [-write-timeout D] [-idle-timeout D]
+//	             [-pprof-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -30,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,7 +62,31 @@ func run() int {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration reading an entire request, including the upload body")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before the connection is closed")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; a bare :port binds loopback only)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler exposes heap contents and must never share the public
+		// listener; a bare ":port" is pinned to loopback rather than all
+		// interfaces.
+		paddr := *pprofAddr
+		if strings.HasPrefix(paddr, ":") {
+			paddr = "127.0.0.1" + paddr
+		}
+		ln, err := net.Listen("tcp", paddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-cloud: pprof listener: %v\n", err)
+			return 1
+		}
+		log.Printf("medsen-cloud: pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			// DefaultServeMux carries only the net/http/pprof handlers; the
+			// service handler below uses its own mux.
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("medsen-cloud: pprof server: %v", err)
+			}
+		}()
+	}
 
 	svc, err := cloud.NewService(cloud.ServiceConfig{
 		Workers:         *workers,

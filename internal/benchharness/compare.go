@@ -1,0 +1,83 @@
+package benchharness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds are the allowed per-metric growth percentages before Compare
+// flags a benchmark as regressed. Wall time is inherently noisy, so its
+// threshold is loose; allocation counts are near-deterministic, so theirs is
+// tight — that is the metric the harness really gates.
+type Thresholds struct {
+	NsPct     float64
+	AllocsPct float64
+	BytesPct  float64
+}
+
+// DefaultThresholds returns the regression gate used by `medsen-bench
+// -compare` when no flags override it.
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsPct: 30, AllocsPct: 10, BytesPct: 15}
+}
+
+// Regression is one metric of one benchmark that grew past its threshold.
+type Regression struct {
+	Name      string
+	Metric    string
+	Baseline  float64
+	Current   float64
+	GrowthPct float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.1f%% (%.4g -> %.4g)",
+		r.Name, r.Metric, r.GrowthPct, r.Baseline, r.Current)
+}
+
+// Compare checks current against baseline and returns every regression
+// beyond the thresholds, ordered as the current suite lists its results.
+// Benchmarks present in only one suite are ignored: the gate judges known
+// benchmarks, it does not force the two runs to have the same shape.
+func Compare(baseline, current Suite, th Thresholds) []Regression {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		regs = appendRegression(regs, cur.Name, "ns/op", b.NsPerOp, cur.NsPerOp, th.NsPct)
+		regs = appendRegression(regs, cur.Name, "allocs/op", float64(b.AllocsPerOp), float64(cur.AllocsPerOp), th.AllocsPct)
+		regs = appendRegression(regs, cur.Name, "B/op", float64(b.BytesPerOp), float64(cur.BytesPerOp), th.BytesPct)
+	}
+	return regs
+}
+
+// appendRegression adds a Regression when cur exceeds base by more than
+// pct percent. A zero baseline regresses on any growth: going from "no
+// allocations" to "some" is exactly what the gate exists to catch.
+func appendRegression(regs []Regression, name, metric string, base, cur, pct float64) []Regression {
+	if cur <= base {
+		return regs
+	}
+	if base <= 0 {
+		return append(regs, Regression{Name: name, Metric: metric, Baseline: base, Current: cur, GrowthPct: 100})
+	}
+	growth := (cur - base) / base * 100
+	if growth <= pct {
+		return regs
+	}
+	return append(regs, Regression{Name: name, Metric: metric, Baseline: base, Current: cur, GrowthPct: growth})
+}
+
+// FormatTable writes the suite as an aligned human-readable table.
+func (s Suite) FormatTable(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range s.Results {
+		fmt.Fprintf(w, "%-28s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}

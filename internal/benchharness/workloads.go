@@ -1,0 +1,143 @@
+package benchharness
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"medsen"
+	"medsen/internal/cloud"
+	"medsen/internal/drbg"
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+	"medsen/internal/sensor"
+	"medsen/internal/sigproc"
+)
+
+// Benchmark is one registered harness workload. Names are stable: they are
+// the keys baselines are compared by.
+type Benchmark struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Benchmarks returns the registered hot-path workloads, in run order. These
+// mirror the corresponding testing benchmarks in bench_test.go; the harness
+// duplicates the bodies (rather than importing the test file) so a plain
+// binary can run them.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Name: "CloudAnalyze/serial", F: benchCloudAnalyze(1)},
+		{Name: "CloudAnalyze/parallel", F: benchCloudAnalyze(0)},
+		{Name: "DetrendWorkers/serial", F: benchDetrendWorkers(1)},
+		{Name: "DetrendWorkers/gomaxprocs", F: benchDetrendWorkers(0)},
+		{Name: "DetectPeaks", F: benchDetectPeaks},
+		{Name: "DiagnosticLocal", F: benchDiagnosticLocal},
+	}
+}
+
+// acquisition300 lazily builds the deterministic 8-carrier 300 s capture the
+// cloud-pipeline workloads share (the same capture bench_test.go uses), so
+// its multi-second setup cost is paid once per process, outside every
+// measured region.
+var acquisition300 = sync.OnceValues(func() (lockin.Acquisition, error) {
+	s := sensor.NewDefault()
+	s.Loss = microfluidic.LossModel{Disabled: true}
+	sample := microfluidic.NewSample(10, map[microfluidic.Type]float64{
+		microfluidic.TypeBloodCell: 300,
+	})
+	res, err := s.Acquire(sensor.AcquireConfig{Sample: sample, DurationS: 300}, drbg.NewFromSeed(2016))
+	if err != nil {
+		return lockin.Acquisition{}, err
+	}
+	return res.Acquisition, nil
+})
+
+// acquisitionBytes is the natural throughput unit for the pipeline
+// workloads: total float64 sample bytes processed per operation.
+func acquisitionBytes(acq lockin.Acquisition) int64 {
+	var n int64
+	for _, tr := range acq.Traces {
+		n += int64(len(tr.Samples)) * 8
+	}
+	return n
+}
+
+func benchCloudAnalyze(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		acq, err := acquisition300()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cloud.DefaultAnalysisConfig()
+		cfg.Workers = workers
+		b.SetBytes(acquisitionBytes(acq))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			report, err := cloud.Analyze(acq, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if report.PeakCount == 0 {
+				b.Fatal("no peaks")
+			}
+		}
+	}
+}
+
+func benchDetrendWorkers(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		acq, err := acquisition300()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := acq.Traces[0]
+		b.SetBytes(int64(len(tr.Samples)) * 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sigproc.DetrendWorkers(tr, sigproc.DefaultDetrendConfig(), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchDetectPeaks(b *testing.B) {
+	acq, err := acquisition300()
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat, err := sigproc.Detrend(acq.Traces[0], sigproc.DefaultDetrendConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(flat.Samples)) * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if peaks := sigproc.DetectPeaks(flat, sigproc.DefaultPeakConfig()); len(peaks) == 0 {
+			b.Fatal("no peaks")
+		}
+	}
+}
+
+func benchDiagnosticLocal(b *testing.B) {
+	device, err := medsen.NewDevice(medsen.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := medsen.NewBloodSample(10, 150)
+	analyzer := medsen.NewLocalAnalyzer()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := device.RunDiagnostic(ctx, medsen.RunConfig{
+			Sample: sample, DurationS: 30,
+		}, analyzer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

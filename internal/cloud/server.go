@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -325,6 +326,18 @@ type SubmitResponse struct {
 	Report Report `json:"report"`
 }
 
+// Submission scratch pools: sustained upload throughput must not be bound
+// by per-request garbage. bodyBufPool recycles the request-body read buffer
+// (the sync path hands its bytes straight to the analysis and returns them;
+// the async path clones into the job payload, which has to outlive the
+// request anyway). decodeBufPool recycles the zip/CSV decode storage across
+// analyses — safe because Analyze copies everything it reports and retains
+// nothing from the decoded acquisition.
+var (
+	bodyBufPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	decodeBufPool = sync.Pool{New: func() any { return new(csvio.DecodeBuffer) }}
+)
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.admitSubmit(w, r) {
 		return
@@ -333,7 +346,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// its 413 as soon as the limit is crossed instead of being buffered to
 	// the end first (and the server closes the connection on it).
 	r.Body = http.MaxBytesReader(w, r.Body, s.uploadLimit)
-	body, err := io.ReadAll(r.Body)
+	bodyBuf := bodyBufPool.Get().(*bytes.Buffer)
+	bodyBuf.Reset()
+	defer bodyBufPool.Put(bodyBuf)
+	_, err := bodyBuf.ReadFrom(r.Body)
+	body := bodyBuf.Bytes()
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -352,7 +369,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch async := r.URL.Query().Get("async"); async {
 	case "", "0", "false":
 	case "1", "true":
-		s.handleSubmitAsync(w, body, key)
+		// The job payload outlives this request (queued, journaled), so it
+		// cannot alias the pooled read buffer.
+		s.handleSubmitAsync(w, bytes.Clone(body), key)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad async parameter %q", async))
@@ -444,7 +463,11 @@ func (s *Service) runAnalysis(payload []byte) (report Report, code string, err e
 			report, code, err = Report{}, CodeInternal, fmt.Errorf("analysis panicked: %v", r)
 		}
 	}()
-	acq, err := csvio.DecompressAcquisition(payload)
+	// The decode buffer is recycled once the analysis is done: the report
+	// carries copies of everything it needs, never the raw samples.
+	buf := decodeBufPool.Get().(*csvio.DecodeBuffer)
+	defer decodeBufPool.Put(buf)
+	acq, err := csvio.DecompressAcquisitionBuffer(payload, buf)
 	if err != nil {
 		return Report{}, CodeInvalidRequest, err
 	}

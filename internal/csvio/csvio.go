@@ -68,9 +68,31 @@ func EncodeAcquisition(w io.Writer, acq lockin.Acquisition) error {
 	return nil
 }
 
+// DecodeBuffer holds reusable sample storage for DecodeAcquisitionBuffer
+// and DecompressAcquisitionBuffer, so sustained decoding (one upload after
+// another in the cloud service) stops paying append-growth garbage for every
+// capture. The zero value is ready to use; a buffer must not be shared
+// between concurrent decodes.
+type DecodeBuffer struct {
+	samples [][]float64
+	times   []float64
+}
+
 // DecodeAcquisition parses a CSV produced by EncodeAcquisition. The sampling
 // rate is recovered from the time column.
 func DecodeAcquisition(r io.Reader) (lockin.Acquisition, error) {
+	return decodeAcquisition(r, nil)
+}
+
+// DecodeAcquisitionBuffer is DecodeAcquisition with sample storage drawn
+// from buf. The returned acquisition's traces alias buf's backing arrays and
+// are valid only until the buffer's next decode: callers that recycle the
+// buffer (e.g. through a sync.Pool) must be done with the acquisition first.
+func DecodeAcquisitionBuffer(r io.Reader, buf *DecodeBuffer) (lockin.Acquisition, error) {
+	return decodeAcquisition(r, buf)
+}
+
+func decodeAcquisition(r io.Reader, buf *DecodeBuffer) (lockin.Acquisition, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -89,8 +111,27 @@ func DecodeAcquisition(r io.Reader) (lockin.Acquisition, error) {
 		carriers = append(carriers, float64(hz))
 	}
 
-	samples := make([][]float64, len(carriers))
+	var samples [][]float64
 	var times []float64
+	if buf != nil {
+		if cap(buf.samples) < len(carriers) {
+			buf.samples = make([][]float64, len(carriers))
+		}
+		samples = buf.samples[:len(carriers)]
+		for c := range samples {
+			samples[c] = samples[c][:0]
+		}
+		times = buf.times[:0]
+	} else {
+		samples = make([][]float64, len(carriers))
+	}
+	defer func() {
+		// Keep whatever the appends grew, even on a parse error.
+		if buf != nil {
+			buf.samples = samples
+			buf.times = times
+		}
+	}()
 	for {
 		rec, err := cr.Read()
 		if errors.Is(err, io.EOF) {
@@ -151,6 +192,13 @@ func CompressAcquisition(acq lockin.Acquisition) ([]byte, error) {
 
 // DecompressAcquisition reverses CompressAcquisition.
 func DecompressAcquisition(data []byte) (lockin.Acquisition, error) {
+	return DecompressAcquisitionBuffer(data, nil)
+}
+
+// DecompressAcquisitionBuffer is DecompressAcquisition with sample storage
+// drawn from buf (which may be nil); see DecodeAcquisitionBuffer for the
+// aliasing contract.
+func DecompressAcquisitionBuffer(data []byte, buf *DecodeBuffer) (lockin.Acquisition, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return lockin.Acquisition{}, fmt.Errorf("csvio: opening archive: %w", err)
@@ -164,7 +212,7 @@ func DecompressAcquisition(data []byte) (lockin.Acquisition, error) {
 			return lockin.Acquisition{}, fmt.Errorf("csvio: opening member: %w", err)
 		}
 		defer rc.Close()
-		return DecodeAcquisition(rc)
+		return decodeAcquisition(rc, buf)
 	}
 	return lockin.Acquisition{}, fmt.Errorf("csvio: archive lacks %s", MeasurementsFileName)
 }

@@ -34,15 +34,20 @@ func Modulate(envelope sigproc.Trace, carrierHz, rawRateHz, excitationV float64)
 	durationS := envelope.Duration()
 	n := int(durationS * rawRateHz)
 	out := make([]float64, n)
+	// Hoisted per-sample increments: the carrier phase advances by a fixed
+	// omega per raw sample and the envelope index by a fixed rate ratio, so
+	// the loop runs one multiply each instead of rebuilding 2π·f·t from
+	// scratch.
+	omega := 2 * math.Pi * carrierHz / rawRateHz
+	rateRatio := envelope.Rate / rawRateHz
 	for i := range out {
-		t := float64(i) / rawRateHz
 		// Sample-and-hold interpolation of the envelope is ample: the
 		// envelope bandwidth (≤ 120 Hz) is far below the carrier.
-		idx := int(t * envelope.Rate)
+		idx := int(float64(i) * rateRatio)
 		if idx >= len(envelope.Samples) {
 			idx = len(envelope.Samples) - 1
 		}
-		out[i] = excitationV * envelope.Samples[idx] * math.Sin(2*math.Pi*carrierHz*t)
+		out[i] = excitationV * envelope.Samples[idx] * math.Sin(omega*float64(i))
 	}
 	return sigproc.Trace{Rate: rawRateHz, Samples: out}, nil
 }
@@ -63,12 +68,14 @@ func Demodulate(raw sigproc.Trace, carrierHz, cutoffHz, outRateHz, excitationV f
 	n := len(raw.Samples)
 	inPhase := make([]float64, n)
 	quadrature := make([]float64, n)
+	// One Sincos per sample instead of a separate Sin and Cos, with the
+	// phase increment hoisted out of the loop.
+	omega := 2 * math.Pi * carrierHz / raw.Rate
 	for i, v := range raw.Samples {
-		t := float64(i) / raw.Rate
-		phase := 2 * math.Pi * carrierHz * t
+		sin, cos := math.Sincos(omega * float64(i))
 		// ×2 restores unit gain: sin·sin averages to 1/2.
-		inPhase[i] = 2 * v * math.Sin(phase)
-		quadrature[i] = 2 * v * math.Cos(phase)
+		inPhase[i] = 2 * v * sin
+		quadrature[i] = 2 * v * cos
 	}
 	// Two cascaded single-pole stages steepen the roll-off around the
 	// 2·carrier mixing images.
@@ -79,8 +86,9 @@ func Demodulate(raw sigproc.Trace, carrierHz, cutoffHz, outRateHz, excitationV f
 
 	outN := int(float64(n) / raw.Rate * outRateHz)
 	out := make([]float64, outN)
+	decimate := raw.Rate / outRateHz
 	for i := range out {
-		src := int(float64(i) / outRateHz * raw.Rate)
+		src := int(float64(i) * decimate)
 		if src >= n {
 			src = n - 1
 		}

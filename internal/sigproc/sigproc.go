@@ -67,6 +67,26 @@ var ErrBadFit = errors.New("sigproc: singular least-squares system")
 // normal equations are solved with partial-pivot Gaussian elimination, which
 // is ample for the low degrees (≤ 4) used in detrending.
 func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	var s FitScratch
+	return s.PolyFit(xs, ys, degree)
+}
+
+// FitScratch holds reusable normal-equation storage for repeated PolyFit
+// calls, eliminating the per-fit allocations of the package-level function.
+// The zero value is ready to use. A scratch must not be used by more than
+// one goroutine at a time.
+type FitScratch struct {
+	moments []float64
+	b       []float64
+	cells   []float64
+	rows    [][]float64
+	coeffs  []float64
+}
+
+// PolyFit is the package-level PolyFit with every intermediate drawn from
+// the scratch. The returned coefficient slice is owned by the scratch and
+// is valid only until the next call.
+func (s *FitScratch) PolyFit(xs, ys []float64, degree int) ([]float64, error) {
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("sigproc: PolyFit length mismatch %d vs %d", len(xs), len(ys))
 	}
@@ -80,8 +100,9 @@ func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
 
 	// Build the normal equations A c = b where A[i][j] = Σ x^(i+j) and
 	// b[i] = Σ y x^i.
-	moments := make([]float64, 2*n-1)
-	b := make([]float64, n)
+	s.moments = growFloats(s.moments, 2*n-1, true)
+	s.b = growFloats(s.b, n, true)
+	moments, b := s.moments, s.b
 	for k, x := range xs {
 		p := 1.0
 		for i := 0; i < 2*n-1; i++ {
@@ -92,23 +113,40 @@ func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
 			p *= x
 		}
 	}
-	a := make([][]float64, n)
+	s.cells = growFloats(s.cells, n*n, false)
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	a := s.rows[:n]
 	for i := range a {
-		a[i] = make([]float64, n)
+		a[i] = s.cells[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			a[i][j] = moments[i+j]
 		}
 	}
-	coeffs, err := solveLinear(a, b)
-	if err != nil {
-		return nil, err
-	}
-	return coeffs, nil
+	s.coeffs = growFloats(s.coeffs, n, false)
+	return solveLinear(a, b, s.coeffs)
 }
 
-// solveLinear solves a dense linear system with partial pivoting. a and b
-// are clobbered.
-func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+// growFloats returns s resized to n, reallocating only when the capacity is
+// insufficient, optionally zeroing the result.
+func growFloats(s []float64, n int, zero bool) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	if zero {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// solveLinear solves a dense linear system with partial pivoting, writing
+// the solution into dst (which must have length len(b)). a and b are
+// clobbered.
+func solveLinear(a [][]float64, b, dst []float64) ([]float64, error) {
 	n := len(b)
 	for col := 0; col < n; col++ {
 		// Pivot selection.
@@ -136,7 +174,7 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 			b[row] -= factor * b[col]
 		}
 	}
-	x := make([]float64, n)
+	x := dst
 	for row := n - 1; row >= 0; row-- {
 		sum := b[row]
 		for k := row + 1; k < n; k++ {
@@ -202,11 +240,10 @@ func Detrend(t Trace, cfg DetrendConfig) (Trace, error) {
 	return DetrendWorkers(t, cfg, 1)
 }
 
-// detrendPlan returns the [start, end) bounds of every fit window the
-// piecewise detrend visits, in trace order.
-func detrendPlan(n int, cfg DetrendConfig) [][2]int {
+// appendDetrendPlan appends the [start, end) bounds of every fit window the
+// piecewise detrend visits, in trace order, to plan.
+func appendDetrendPlan(plan [][2]int, n int, cfg DetrendConfig) [][2]int {
 	step := cfg.Window - cfg.Overlap
-	var plan [][2]int
 	for start := 0; start < n; start += step {
 		end := start + cfg.Window
 		if end > n {
@@ -220,33 +257,37 @@ func detrendPlan(n int, cfg DetrendConfig) [][2]int {
 	return plan
 }
 
-// detrendWindow fits one window and returns its crossfaded contribution
-// (value·weight) and weight per in-window sample.
-func detrendWindow(t Trace, cfg DetrendConfig, start, end, n int) (contrib, weight []float64, err error) {
+// fitWindow fits one window's baseline polynomial. xs must hold the shared
+// local coordinates (i/Window); the returned coefficients are owned by fit.
+func fitWindow(t Trace, cfg DetrendConfig, start, end int, xs []float64, fit *FitScratch) ([]float64, error) {
 	segLen := end - start
 	degree := cfg.Degree
 	if segLen <= degree {
 		degree = segLen - 1
 	}
-	xs := make([]float64, segLen)
-	for i := range xs {
-		// Local coordinates keep the normal equations well
-		// conditioned for long traces.
-		xs[i] = float64(i) / float64(cfg.Window)
-	}
-	coeffs, err := PolyFit(xs, t.Samples[start:end], degree)
+	coeffs, err := fit.PolyFit(xs[:segLen], t.Samples[start:end], degree)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sigproc: detrending window [%d,%d): %w", start, end, err)
+		return nil, fmt.Errorf("sigproc: detrending window [%d,%d): %w", start, end, err)
 	}
-	contrib = make([]float64, segLen)
-	weight = make([]float64, segLen)
+	return coeffs, nil
+}
+
+// detrendWindowAccum fits one window and accumulates its crossfaded
+// contribution (value·weight) and weight directly into out and weightSum —
+// the fused serial path, with no per-window storage at all.
+func detrendWindowAccum(t Trace, cfg DetrendConfig, start, end, n int, xs []float64, fit *FitScratch, out, weightSum []float64) error {
+	coeffs, err := fitWindow(t, cfg, start, end, xs, fit)
+	if err != nil {
+		return err
+	}
+	segLen := end - start
 	for i := 0; i < segLen; i++ {
-		fit := PolyEval(coeffs, xs[i])
+		fitv := PolyEval(coeffs, xs[i])
 		var v float64
-		if math.Abs(fit) < 1e-12 {
+		if math.Abs(fitv) < 1e-12 {
 			v = 1
 		} else {
-			v = t.Samples[start+i] / fit
+			v = t.Samples[start+i] / fitv
 		}
 		// Crossfade weight: ramps up across the overlap region.
 		w := 1.0
@@ -255,7 +296,42 @@ func detrendWindow(t Trace, cfg DetrendConfig, start, end, n int) (contrib, weig
 				w = (float64(i) + 1) / float64(cfg.Overlap+1)
 			}
 			if end < n && i >= segLen-cfg.Overlap {
-				tail := (float64(segLen-i) + 0) / float64(cfg.Overlap+1)
+				tail := float64(segLen-i) / float64(cfg.Overlap+1)
+				if tail < w {
+					w = tail
+				}
+			}
+		}
+		out[start+i] += v * w
+		weightSum[start+i] += w
+	}
+	return nil
+}
+
+// detrendWindowInto is detrendWindowAccum for the parallel path: it writes
+// the window's contribution and weight into caller-provided (arena) slices
+// of the segment length, so workers never touch shared accumulators.
+func detrendWindowInto(t Trace, cfg DetrendConfig, start, end, n int, xs []float64, fit *FitScratch, contrib, weight []float64) error {
+	coeffs, err := fitWindow(t, cfg, start, end, xs, fit)
+	if err != nil {
+		return err
+	}
+	segLen := end - start
+	for i := 0; i < segLen; i++ {
+		fitv := PolyEval(coeffs, xs[i])
+		var v float64
+		if math.Abs(fitv) < 1e-12 {
+			v = 1
+		} else {
+			v = t.Samples[start+i] / fitv
+		}
+		w := 1.0
+		if cfg.Overlap > 0 {
+			if start > 0 && i < cfg.Overlap {
+				w = (float64(i) + 1) / float64(cfg.Overlap+1)
+			}
+			if end < n && i >= segLen-cfg.Overlap {
+				tail := float64(segLen-i) / float64(cfg.Overlap+1)
 				if tail < w {
 					w = tail
 				}
@@ -264,23 +340,60 @@ func detrendWindow(t Trace, cfg DetrendConfig, start, end, n int) (contrib, weig
 		contrib[i] = v * w
 		weight[i] = w
 	}
-	return contrib, weight, nil
+	return nil
 }
+
+// detrendScratch is the reusable working set of one DetrendWorkers call:
+// the window plan, the shared local-coordinate axis, the weight accumulator,
+// the parallel path's contribution arena, and one FitScratch per worker.
+// Everything here is either fully overwritten or explicitly zeroed before
+// use, so reuse cannot leak state between calls (see DESIGN.md §6).
+type detrendScratch struct {
+	plan   [][2]int
+	xs     []float64
+	weight []float64
+	arena  []float64
+	offs   []int
+	errs   []error
+	fits   []FitScratch
+}
+
+var detrendScratchPool = sync.Pool{New: func() any { return new(detrendScratch) }}
 
 // DetrendWorkers is Detrend with the per-window polynomial fits spread
 // across a bounded pool of worker goroutines (workers ≤ 0 selects
 // GOMAXPROCS). Window fits are independent; their contributions are
-// accumulated afterwards in trace order, so the output is bitwise identical
-// to the serial path for any worker count.
+// accumulated in trace order, so the output is bitwise identical to the
+// serial path for any worker count. All intermediate storage is drawn from
+// a pooled scratch: only the returned sample slice is freshly allocated.
 func DetrendWorkers(t Trace, cfg DetrendConfig, workers int) (Trace, error) {
 	if err := cfg.validate(len(t.Samples)); err != nil {
 		return Trace{}, err
 	}
 	n := len(t.Samples)
-	plan := detrendPlan(n, cfg)
-	contribs := make([][]float64, len(plan))
-	weights := make([][]float64, len(plan))
-	errs := make([]error, len(plan))
+	sc := detrendScratchPool.Get().(*detrendScratch)
+	defer detrendScratchPool.Put(sc)
+	sc.plan = appendDetrendPlan(sc.plan[:0], n, cfg)
+	plan := sc.plan
+
+	// One shared coordinate axis serves every window: xs[i] = i/Window is
+	// independent of the window's start (local coordinates keep the normal
+	// equations well conditioned for long traces).
+	maxSeg := 0
+	for _, wnd := range plan {
+		if l := wnd[1] - wnd[0]; l > maxSeg {
+			maxSeg = l
+		}
+	}
+	sc.xs = growFloats(sc.xs, maxSeg, false)
+	xs := sc.xs
+	for i := range xs {
+		xs[i] = float64(i) / float64(cfg.Window)
+	}
+
+	out := make([]float64, n) // returned to the caller: always fresh
+	sc.weight = growFloats(sc.weight, n, true)
+	weight := sc.weight
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -288,17 +401,44 @@ func DetrendWorkers(t Trace, cfg DetrendConfig, workers int) (Trace, error) {
 	if workers > len(plan) {
 		workers = len(plan)
 	}
+	if cap(sc.fits) < workers {
+		sc.fits = make([]FitScratch, workers)
+	}
+	sc.fits = sc.fits[:cap(sc.fits)]
+
 	if workers <= 1 {
-		for wi, wnd := range plan {
-			contribs[wi], weights[wi], errs[wi] = detrendWindow(t, cfg, wnd[0], wnd[1], n)
-			if errs[wi] != nil {
-				return Trace{}, errs[wi]
+		fit := &sc.fits[0]
+		for _, wnd := range plan {
+			if err := detrendWindowAccum(t, cfg, wnd[0], wnd[1], n, xs, fit, out, weight); err != nil {
+				return Trace{}, err
 			}
 		}
 	} else {
+		// Arena-backed per-window contribution blocks: workers write
+		// disjoint slices, the accumulate pass below reads them in trace
+		// order.
+		if cap(sc.offs) < len(plan) {
+			sc.offs = make([]int, len(plan))
+		}
+		offs := sc.offs[:len(plan)]
+		total := 0
+		for wi, wnd := range plan {
+			offs[wi] = total
+			total += wnd[1] - wnd[0]
+		}
+		sc.arena = growFloats(sc.arena, 2*total, false)
+		contribA, weightA := sc.arena[:total], sc.arena[total:2*total]
+		if cap(sc.errs) < len(plan) {
+			sc.errs = make([]error, len(plan))
+		}
+		errs := sc.errs[:len(plan)]
+		for i := range errs {
+			errs[i] = nil
+		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for k := 0; k < workers; k++ {
+			fit := &sc.fits[k]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -307,7 +447,9 @@ func DetrendWorkers(t Trace, cfg DetrendConfig, workers int) (Trace, error) {
 					if wi >= len(plan) {
 						return
 					}
-					contribs[wi], weights[wi], errs[wi] = detrendWindow(t, cfg, plan[wi][0], plan[wi][1], n)
+					off, seg := offs[wi], plan[wi][1]-plan[wi][0]
+					errs[wi] = detrendWindowInto(t, cfg, plan[wi][0], plan[wi][1], n, xs, fit,
+						contribA[off:off+seg], weightA[off:off+seg])
 				}
 			}()
 		}
@@ -317,16 +459,15 @@ func DetrendWorkers(t Trace, cfg DetrendConfig, workers int) (Trace, error) {
 				return Trace{}, err
 			}
 		}
-	}
-
-	out := make([]float64, n)
-	weight := make([]float64, n)
-	for wi, wnd := range plan {
-		for i, c := range contribs[wi] {
-			out[wnd[0]+i] += c
-			weight[wnd[0]+i] += weights[wi][i]
+		for wi, wnd := range plan {
+			off := offs[wi]
+			for i := 0; i < wnd[1]-wnd[0]; i++ {
+				out[wnd[0]+i] += contribA[off+i]
+				weight[wnd[0]+i] += weightA[off+i]
+			}
 		}
 	}
+
 	for i := range out {
 		if weight[i] > 0 {
 			out[i] /= weight[i]
@@ -358,7 +499,10 @@ func DefaultPeakConfig() PeakConfig {
 }
 
 // DetectPeaks finds voltage drops in a detrended trace. The trace is assumed
-// to have baseline ≈ 1.0; detection operates on depth = 1 - sample.
+// to have baseline ≈ 1.0; detection operates on depth = 1 - sample. The
+// region and peak slices are sized exactly with counting pre-passes and the
+// merge step rewrites the region slice in place, so a call performs at most
+// two allocations regardless of how many threshold crossings the trace has.
 func DetectPeaks(t Trace, cfg PeakConfig) []Peak {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = DefaultPeakConfig().Threshold
@@ -366,8 +510,24 @@ func DetectPeaks(t Trace, cfg PeakConfig) []Peak {
 	if cfg.MinWidth < 1 {
 		cfg.MinWidth = 1
 	}
-	var regions [][2]int
+	// Counting pass: how many above-threshold regions are there?
+	nRegions := 0
 	inRegion := false
+	for _, v := range t.Samples {
+		if 1-v >= cfg.Threshold {
+			if !inRegion {
+				inRegion = true
+				nRegions++
+			}
+		} else {
+			inRegion = false
+		}
+	}
+	if nRegions == 0 {
+		return nil
+	}
+	regions := make([][2]int, 0, nRegions)
+	inRegion = false
 	start := 0
 	for i, v := range t.Samples {
 		depth := 1 - v
@@ -386,7 +546,8 @@ func DetectPeaks(t Trace, cfg PeakConfig) []Peak {
 	}
 
 	// Merge regions separated by fewer than MinSeparation samples: a
-	// single transit can dip twice around its apex under noise.
+	// single transit can dip twice around its apex under noise. The merge
+	// rewrites the slice in place.
 	if cfg.MinSeparation > 0 && len(regions) > 1 {
 		merged := regions[:1]
 		for _, r := range regions[1:] {
@@ -400,7 +561,16 @@ func DetectPeaks(t Trace, cfg PeakConfig) []Peak {
 		regions = merged
 	}
 
-	var peaks []Peak
+	nPeaks := 0
+	for _, r := range regions {
+		if r[1]-r[0] >= cfg.MinWidth {
+			nPeaks++
+		}
+	}
+	if nPeaks == 0 {
+		return nil
+	}
+	peaks := make([]Peak, 0, nPeaks)
 	for _, r := range regions {
 		if r[1]-r[0] < cfg.MinWidth {
 			continue

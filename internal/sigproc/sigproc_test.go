@@ -478,3 +478,50 @@ func TestDetrendWorkersValidation(t *testing.T) {
 		t.Fatal("expected error for negative degree")
 	}
 }
+
+// TestDetrendWorkersSteadyStateAllocs pins the steady-state allocation count
+// of the detrend hot path. Once the pooled scratch is warm, a call allocates
+// the output slice plus (for workers > 1) the per-call worker goroutines; the
+// generous bound only leaves room for a full scratch rebuild if the GC
+// happens to clear the pool mid-run. The pre-scratch implementation
+// allocated ~350 times per call, so any per-window garbage fails this.
+func TestDetrendWorkersSteadyStateAllocs(t *testing.T) {
+	drift := func(i int) float64 { return 1.1 - 2e-6*float64(i) }
+	tr := syntheticTrace(12000, 450, []int{2000, 6000, 10000}, 0.012, drift, drbg.NewFromSeed(31), 0.0003)
+	cfg := DefaultDetrendConfig()
+	for _, workers := range []int{1, 4} {
+		if _, err := DetrendWorkers(tr, cfg, workers); err != nil { // warm the pool
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := DetrendWorkers(tr, cfg, workers); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 32 {
+			t.Errorf("workers=%d: %v allocs per steady-state call, want <= 32", workers, allocs)
+		}
+	}
+}
+
+// TestDetectPeaksAllocsExact pins DetectPeaks to its two exact-size result
+// allocations (the region list and the peak list); the counting pre-passes
+// make the count deterministic, so the bound is tight.
+func TestDetectPeaksAllocsExact(t *testing.T) {
+	dips := []int{500, 1500, 2500, 3500}
+	tr := syntheticTrace(4200, 450, dips, 0.015, func(int) float64 { return 1.2 }, drbg.NewFromSeed(9), 0.0002)
+	flat, err := Detrend(tr, DetrendConfig{Degree: 2, Window: 1000, Overlap: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultPeakConfig()
+	if got := len(DetectPeaks(flat, cfg)); got != len(dips) {
+		t.Fatalf("fixture yields %d peaks, want %d", got, len(dips))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		DetectPeaks(flat, cfg)
+	})
+	if allocs > 2 {
+		t.Errorf("%v allocs per DetectPeaks call, want <= 2", allocs)
+	}
+}
