@@ -16,13 +16,20 @@
 // header (default: the payload SHA-256), so rejected or retried submissions
 // never double-analyze a capture.
 //
+// With -auth every /api/v1 request must carry an Authorization: Bearer API
+// key (owner/clinic/admin RBAC; keys live under <state-dir>/auth and are
+// managed via POST /api/v1/keys or medsen-keytool apikey), and every access
+// is recorded to the hash-chained audit trail at <state-dir>/audit.log —
+// verified on startup, served to admins at GET /api/v1/audit. Use
+// -bootstrap-admin-key to install the first admin credential.
+//
 // Usage:
 //
 //	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
 //	             [-job-timeout D] [-rate-limit N] [-rate-burst N] [-max-queue-wait D]
 //	             [-read-timeout D] [-write-timeout D] [-idle-timeout D]
-//	             [-pprof-addr 127.0.0.1:6060]
+//	             [-pprof-addr 127.0.0.1:6060] [-auth] [-bootstrap-admin-key SECRET]
 package main
 
 import (
@@ -40,6 +47,8 @@ import (
 	"syscall"
 	"time"
 
+	"medsen/internal/audit"
+	"medsen/internal/auth"
 	"medsen/internal/cloud"
 )
 
@@ -63,6 +72,8 @@ func run() int {
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "max duration writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before the connection is closed")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; a bare :port binds loopback only)")
+	authOn := flag.Bool("auth", false, "require Authorization: Bearer API keys on every /api/v1 request and record the hash-chained audit trail")
+	bootstrapAdminKey := flag.String("bootstrap-admin-key", "", "with -auth: install this secret as an admin API key at startup (idempotent), so further keys can be issued over the API")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,6 +99,49 @@ func run() int {
 		}()
 	}
 
+	var keystore *auth.Keystore
+	var auditLog *audit.Log
+	if *authOn {
+		// Without a state dir both stores are memory-only: keys and trail die
+		// with the process, which is fine for demos and wrong for production —
+		// exactly like the analysis store itself.
+		ksDir, auditPath := "", ""
+		if *stateDir != "" {
+			ksDir = cloud.AuthDir(*stateDir)
+			auditPath = cloud.AuditLogPath(*stateDir)
+		}
+		var err error
+		keystore, err = auth.OpenKeystore(nil, ksDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+			return 1
+		}
+		// A tampered audit chain refuses to open — the service must not start
+		// over a trail it cannot vouch for.
+		auditLog, err = audit.Open(auditPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+			return 1
+		}
+		defer auditLog.Close()
+		if *bootstrapAdminKey != "" {
+			k, err := keystore.Install(*bootstrapAdminKey, auth.RoleAdmin, "")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medsen-cloud: bootstrap admin key: %v\n", err)
+				return 1
+			}
+			log.Printf("medsen-cloud: bootstrap admin key installed as %s", k.ID)
+		}
+		if !keystore.HasActiveAdmin() {
+			log.Printf("medsen-cloud: warning: no active admin key — key issuance and the audit trail are unreachable " +
+				"(pass -bootstrap-admin-key or issue one with medsen-keytool apikey)")
+		}
+		log.Printf("medsen-cloud: authentication enabled (audit chain: %d records)", auditLog.Len())
+	} else if *bootstrapAdminKey != "" {
+		fmt.Fprintln(os.Stderr, "medsen-cloud: -bootstrap-admin-key requires -auth")
+		return 1
+	}
+
 	svc, err := cloud.NewService(cloud.ServiceConfig{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -98,6 +152,8 @@ func run() int {
 		RateLimit:       *rateLimit,
 		RateBurst:       *rateBurst,
 		MaxQueueWait:    *maxQueueWait,
+		Keystore:        keystore,
+		Audit:           auditLog,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
@@ -117,6 +173,7 @@ func run() int {
 	log.Printf("medsen-cloud: endpoints: POST /api/v1/analyses[?async=1], GET /api/v1/analyses, " +
 		"GET /api/v1/analyses/{id}, GET /api/v1/jobs, GET /api/v1/jobs/{id}, " +
 		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses, " +
+		"POST/GET /api/v1/keys, DELETE /api/v1/keys/{id}, GET /api/v1/audit, " +
 		"GET /healthz, GET /readyz")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -33,6 +33,7 @@ func main() {
 func run() int {
 	var (
 		cloudURL = flag.String("cloud", "", "base URL of a medsen-cloud service")
+		apiKey   = flag.String("api-key", os.Getenv("MEDSEN_API_KEY"), "bearer API key for a medsen-cloud running with -auth (default $MEDSEN_API_KEY)")
 		local    = flag.Bool("local", false, "analyze on-device instead of in the cloud")
 		conc     = flag.Float64("conc", 350, "blood cell concentration (cells/µL)")
 		duration = flag.Float64("duration", 120, "acquisition window (seconds)")
@@ -53,7 +54,7 @@ func run() int {
 		}
 		return 0
 	}
-	if err := runDevice(*cloudURL, *local, *conc, *duration, *dilution, *seed, *enroll, *auth, *pipette, *records); err != nil {
+	if err := runDevice(*cloudURL, *apiKey, *local, *conc, *duration, *dilution, *seed, *enroll, *auth, *pipette, *records); err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-device: %v\n", err)
 		return 1
 	}
@@ -114,7 +115,15 @@ func renderReport(recordsPath string) error {
 	return nil
 }
 
-func runDevice(cloudURL string, local bool, conc, duration, dilution float64, seed uint64, enroll string, auth bool, pipette, records string) error {
+func runDevice(cloudURL, apiKey string, local bool, conc, duration, dilution float64, seed uint64, enroll string, auth bool, pipette, records string) error {
+	// newClient builds a cloud client carrying the bearer key (if any) so
+	// every path — enrollment, authentication, the relay upload — works
+	// against a service running with -auth.
+	newClient := func() *medsen.CloudClient {
+		c := medsen.NewCloudClient(cloudURL)
+		c.APIKey = apiKey
+		return c
+	}
 	opts := []medsen.DeviceOption{
 		medsen.WithNotify(func(s string) { fmt.Printf("  [device] %s\n", s) }),
 	}
@@ -136,7 +145,7 @@ func runDevice(cloudURL string, local bool, conc, duration, dilution float64, se
 		if err != nil {
 			return err
 		}
-		if err := medsen.NewCloudClient(cloudURL).Enroll(ctx, enroll, id); err != nil {
+		if err := newClient().Enroll(ctx, enroll, id); err != nil {
 			return err
 		}
 		if err := savePipette(pipette, enroll, id); err != nil {
@@ -165,7 +174,7 @@ func runDevice(cloudURL string, local bool, conc, duration, dilution float64, se
 		if err != nil {
 			return err
 		}
-		client := medsen.NewCloudClient(cloudURL)
+		client := newClient()
 		sub, err := client.SubmitAcquisition(ctx, acq)
 		if err != nil {
 			return err
@@ -188,7 +197,9 @@ func runDevice(cloudURL string, local bool, conc, duration, dilution float64, se
 	case local:
 		analyzer = medsen.NewLocalAnalyzer()
 	case cloudURL != "":
-		analyzer = medsen.NewPhoneRelay(cloudURL)
+		relay := medsen.NewPhoneRelay(cloudURL)
+		relay.Client.APIKey = apiKey
+		analyzer = relay
 	default:
 		return fmt.Errorf("pass -local or -cloud URL")
 	}

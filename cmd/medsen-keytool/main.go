@@ -1,6 +1,9 @@
 // Command medsen-keytool manages MedSen key schedules outside a diagnostic
-// run: generate a schedule for a planned acquisition, inspect one, and seal
-// or open practitioner shares (§VII-B key sharing).
+// run — generate a schedule for a planned acquisition, inspect one, and seal
+// or open practitioner shares (§VII-B key sharing) — plus the analysis
+// service's API-key store and audit trail: issue, list and revoke bearer
+// keys directly against a service state directory (offline bootstrap, no
+// admin key needed), and verify an audit chain's hash links.
 //
 // Usage:
 //
@@ -8,14 +11,22 @@
 //	medsen-keytool inspect -in schedule.msk
 //	medsen-keytool seal -in schedule.msk -out share.msks -passphrase s3cret
 //	medsen-keytool open -in share.msks -out schedule.msk -passphrase s3cret
+//	medsen-keytool apikey issue -state-dir DIR -role owner -subject alice
+//	medsen-keytool apikey list -state-dir DIR
+//	medsen-keytool apikey revoke -state-dir DIR -id key-2
+//	medsen-keytool audit verify -state-dir DIR
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"medsen/internal/audit"
+	"medsen/internal/auth"
 	"medsen/internal/cipher"
+	"medsen/internal/cloud"
 	"medsen/internal/drbg"
 )
 
@@ -38,6 +49,10 @@ func run(args []string) int {
 		err = cmdSeal(args[1:])
 	case "open":
 		err = cmdOpen(args[1:])
+	case "apikey":
+		err = cmdAPIKey(args[1:])
+	case "audit":
+		err = cmdAudit(args[1:])
 	default:
 		usage()
 		return 2
@@ -50,7 +65,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: medsen-keytool <gen|inspect|seal|open> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: medsen-keytool <gen|inspect|seal|open|apikey|audit> [flags]")
 }
 
 func cmdGen(args []string) error {
@@ -184,5 +199,139 @@ func cmdOpen(args []string) error {
 		return err
 	}
 	fmt.Printf("opened %s → %s (%d epochs)\n", *in, *out, len(sched.Epochs))
+	return nil
+}
+
+// openKeystoreAt opens the API-key store under a service state directory —
+// the same layout medsen-cloud -auth uses, so offline issuance here is
+// visible to the service on its next start (or immediately, for a service
+// sharing the directory).
+func openKeystoreAt(stateDir string) (*auth.Keystore, error) {
+	if stateDir == "" {
+		return nil, fmt.Errorf("apikey: -state-dir is required")
+	}
+	return auth.OpenKeystore(nil, cloud.AuthDir(stateDir))
+}
+
+func cmdAPIKey(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: medsen-keytool apikey <issue|list|revoke> [flags]")
+	}
+	switch args[0] {
+	case "issue":
+		return cmdAPIKeyIssue(args[1:])
+	case "list":
+		return cmdAPIKeyList(args[1:])
+	case "revoke":
+		return cmdAPIKeyRevoke(args[1:])
+	}
+	return fmt.Errorf("apikey: unknown subcommand %q (want issue, list or revoke)", args[0])
+}
+
+func cmdAPIKeyIssue(args []string) error {
+	fs := flag.NewFlagSet("apikey issue", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "service state directory (required)")
+	roleName := fs.String("role", "", "key role: owner, clinic or admin (required)")
+	subject := fs.String("subject", "", "tenant identity the key acts as (required for owner keys)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	role, err := auth.ParseRole(*roleName)
+	if err != nil {
+		return err
+	}
+	ks, err := openKeystoreAt(*stateDir)
+	if err != nil {
+		return err
+	}
+	k, secret, err := ks.Issue(role, *subject)
+	if err != nil {
+		return err
+	}
+	// The secret is printed exactly once; only its hash is on disk.
+	fmt.Printf("issued %s (role %s", k.ID, k.Role)
+	if k.Subject != "" {
+		fmt.Printf(", subject %s", k.Subject)
+	}
+	fmt.Printf(")\nsecret: %s\nstore it now — it cannot be recovered\n", secret)
+	return nil
+}
+
+func cmdAPIKeyList(args []string) error {
+	fs := flag.NewFlagSet("apikey list", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "service state directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ks, err := openKeystoreAt(*stateDir)
+	if err != nil {
+		return err
+	}
+	keys := ks.Keys()
+	if len(keys) == 0 {
+		fmt.Println("no keys")
+		return nil
+	}
+	for _, k := range keys {
+		status := "active"
+		if k.Revoked() {
+			status = "revoked " + time.Unix(k.RevokedAtUnix, 0).UTC().Format(time.RFC3339)
+		}
+		subject := k.Subject
+		if subject == "" {
+			subject = "-"
+		}
+		fmt.Printf("%s\trole=%s\tsubject=%s\tcreated=%s\t%s\n",
+			k.ID, k.Role, subject,
+			time.Unix(k.CreatedAtUnix, 0).UTC().Format(time.RFC3339), status)
+	}
+	return nil
+}
+
+func cmdAPIKeyRevoke(args []string) error {
+	fs := flag.NewFlagSet("apikey revoke", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "service state directory (required)")
+	id := fs.String("id", "", "key id to revoke (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("apikey revoke: -id is required")
+	}
+	ks, err := openKeystoreAt(*stateDir)
+	if err != nil {
+		return err
+	}
+	k, err := ks.Revoke(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("revoked %s (role %s)\n", k.ID, k.Role)
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	if len(args) < 1 || args[0] != "verify" {
+		return fmt.Errorf("usage: medsen-keytool audit verify -state-dir DIR")
+	}
+	fs := flag.NewFlagSet("audit verify", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "service state directory (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("audit verify: -state-dir is required")
+	}
+	// Open runs the full chain verification; a broken link fails here.
+	l, err := audit.Open(cloud.AuditLogPath(*stateDir))
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("audit chain intact: %d records", l.Len())
+	if h := l.HeadHash(); h != "" {
+		fmt.Printf(", head %s", h)
+	}
+	fmt.Println()
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"medsen/internal/audit"
 	"medsen/internal/beads"
 	"medsen/internal/csvio"
 	"medsen/internal/lockin"
@@ -38,10 +39,15 @@ type Client struct {
 	// policy gets a chance — instead of pinning the caller until its
 	// context expires.
 	AttemptTimeout time.Duration
-	// ClientID, when non-empty, is sent as X-Client-Id on every request so
-	// the service's per-client rate limiter keys on the device identity
-	// rather than a (possibly NATed, shared) remote address.
+	// ClientID, when non-empty, is sent as X-Client-Id on every request —
+	// informational device identity for logs; the service's rate limiter
+	// keys on the authenticated API key, not this header.
 	ClientID string
+	// APIKey, when non-empty, is sent as "Authorization: Bearer" on every
+	// request — live submits, async polls, breaker flushes, and spool
+	// replays alike, since they all funnel through the same request path.
+	// Required when the service runs with authentication enabled.
+	APIKey string
 }
 
 // RetryPolicy bounds safe-request retries.
@@ -182,6 +188,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, c
 	}
 	if c.ClientID != "" {
 		req.Header.Set("X-Client-Id", c.ClientID)
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -522,4 +531,81 @@ func (c *Client) UserAnalysesPage(ctx context.Context, userID string, p Page) ([
 		return nil, 0, err
 	}
 	return out.AnalysisIDs, totalCount(meta), nil
+}
+
+// IssueKey mints an API key (admin only). The returned secret appears
+// exactly once — the service stores only its hash.
+func (c *Client) IssueKey(ctx context.Context, role, subject string) (IssuedKey, error) {
+	body, err := json.Marshal(IssueKeyRequest{Role: role, Subject: subject})
+	if err != nil {
+		return IssuedKey{}, fmt.Errorf("cloud: encoding key request: %w", err)
+	}
+	var out IssuedKey
+	err = c.do(ctx, http.MethodPost, "/api/v1/keys", body, "application/json", "", &out, nil)
+	return out, err
+}
+
+// ListKeys returns one page of API-key metadata plus the total key count
+// (admin only).
+func (c *Client) ListKeys(ctx context.Context, p Page) ([]KeyInfo, int, error) {
+	var out struct {
+		Keys []KeyInfo `json:"keys"`
+	}
+	var meta respMeta
+	err := c.do(ctx, http.MethodGet, "/api/v1/keys"+p.query(), nil, "", "", &out, &meta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Keys, totalCount(meta), nil
+}
+
+// RevokeKey revokes an API key by id (admin only).
+func (c *Client) RevokeKey(ctx context.Context, id string) (KeyInfo, error) {
+	var out KeyInfo
+	err := c.do(ctx, http.MethodDelete, "/api/v1/keys/"+id, nil, "", "", &out, nil)
+	return out, err
+}
+
+// AuditFilter bounds and filters an audit-trail listing request. The zero
+// value requests the whole retained chain.
+type AuditFilter struct {
+	// Actor, when non-empty, keeps only records by that actor (exact match).
+	Actor string
+	// Action, when non-empty, keeps only records of that action.
+	Action string
+	Page
+}
+
+func (f AuditFilter) query() string {
+	q := make(url.Values)
+	if f.Actor != "" {
+		q.Set("actor", f.Actor)
+	}
+	if f.Action != "" {
+		q.Set("action", f.Action)
+	}
+	if f.Limit != 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if f.Offset != 0 {
+		q.Set("offset", strconv.Itoa(f.Offset))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// AuditRecords returns one page of the audit trail plus the pre-paging
+// record count (admin only).
+func (c *Client) AuditRecords(ctx context.Context, f AuditFilter) ([]audit.Record, int, error) {
+	var out struct {
+		Records []audit.Record `json:"records"`
+	}
+	var meta respMeta
+	err := c.do(ctx, http.MethodGet, "/api/v1/audit"+f.query(), nil, "", "", &out, &meta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Records, totalCount(meta), nil
 }

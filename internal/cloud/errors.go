@@ -27,6 +27,8 @@ const (
 	CodeRateLimited       = "rate_limited"
 	CodeOverloaded        = "overloaded"
 	CodeDuplicateInFlight = "duplicate_in_flight"
+	CodeUnauthenticated   = "unauthenticated"
+	CodePermissionDenied  = "permission_denied"
 	CodeInternal          = "internal"
 )
 
@@ -63,6 +65,13 @@ var (
 	// analysis still running; a retry after APIError.RetryAfter returns the
 	// original result once it completes.
 	ErrDuplicateInFlight = errors.New("cloud: duplicate capture in flight")
+	// ErrUnauthenticated is a request refused for a missing, unknown, or
+	// revoked API key (HTTP 401; the response carries a WWW-Authenticate
+	// challenge).
+	ErrUnauthenticated = errors.New("cloud: unauthenticated")
+	// ErrPermissionDenied is a request the authenticated key's role may not
+	// perform on the object it addressed (HTTP 403).
+	ErrPermissionDenied = errors.New("cloud: permission denied")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
@@ -80,6 +89,8 @@ var codeSentinels = map[string]error{
 	CodeRateLimited:       ErrRateLimited,
 	CodeOverloaded:        ErrOverloaded,
 	CodeDuplicateInFlight: ErrDuplicateInFlight,
+	CodeUnauthenticated:   ErrUnauthenticated,
+	CodePermissionDenied:  ErrPermissionDenied,
 	CodeInternal:          ErrInternal,
 }
 

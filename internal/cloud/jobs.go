@@ -8,6 +8,9 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"medsen/internal/audit"
+	"medsen/internal/auth"
 )
 
 // Async analysis jobs. A 3-hour, 8-carrier capture takes real CPU time to
@@ -65,6 +68,10 @@ type Job struct {
 	// ErrorCode uses the same vocabulary as the error envelope.
 	ErrorCode string `json:"error_code,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Owner is the principal subject that submitted the job ("" when
+	// submitted anonymously or by a subject-less clinic/admin key); the
+	// stored analysis inherits it, and RBAC scopes owner-role reads to it.
+	Owner string `json:"owner,omitempty"`
 }
 
 // queuedJob is the service-internal job record: the wire Job plus the
@@ -173,8 +180,9 @@ var errShutdown = errors.New("cloud: service is shutting down")
 // owns live or completed work returns that work instead of a new job, a key
 // reserved by an in-flight sync analysis returns errDuplicateInFlight, and a
 // key whose owning job failed may re-run. ok=false means the queue is at
-// capacity (backpressure). key "" bypasses the index.
-func (s *Service) enqueueJob(payload []byte, key string) (Job, bool, error) {
+// capacity (backpressure). key "" bypasses the index. owner is the
+// submitting principal's subject, inherited by the stored analysis.
+func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.jobsClosed {
@@ -218,7 +226,7 @@ func (s *Service) enqueueJob(payload []byte, key string) (Job, bool, error) {
 		return Job{}, false, nil
 	}
 	s.nextJobID++
-	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued}, payload: payload, captureKey: key}
+	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued, Owner: owner}, payload: payload, captureKey: key}
 	if err := s.persistJob(qj, payload); err != nil {
 		// The job was never registered: the id stays burned, the worker
 		// ignores the orphaned queue entry, and no dedup entry exists to
@@ -308,7 +316,7 @@ func (s *Service) runJob(id string) {
 		s.mu.Unlock()
 		return
 	}
-	analysisID, err := s.storeReportLocked(out.report)
+	analysisID, err := s.storeReportLocked(out.report, qj.Owner)
 	if err == nil {
 		qj.Status = JobDone
 		qj.AnalysisID = analysisID
@@ -400,8 +408,8 @@ const retryAfterSeconds = 1
 // resource — the original job when the capture key dedups, a synthesized
 // done job when only the analysis survives — or 429 when the queue is full,
 // shed, or the capture is mid-analysis on the sync path (409).
-func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key string) {
-	job, ok, err := s.enqueueJob(body, key)
+func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key string, p auth.Principal) {
+	job, ok, err := s.enqueueJob(body, key, p.Subject)
 	if err != nil {
 		var oe *overloadError
 		switch {
@@ -428,6 +436,7 @@ func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key stri
 	}
 	if job.ID != "" {
 		w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+		s.auditEvent(p, "job.create", job.ID, audit.OutcomeOK, "")
 	}
 	writeJSON(w, http.StatusAccepted, job)
 }
@@ -449,6 +458,10 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("job %q not found", id))
 		return
 	}
+	if !s.authorize(w, r, auth.ActionRead, auth.Object{Type: auth.ObjectJob, Owner: job.Owner},
+		"job.read", id) {
+		return
+	}
 	writeJSON(w, http.StatusOK, job)
 }
 
@@ -468,11 +481,17 @@ func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Scope-filtered like the analyses listing: rows an owner key could not
+	// GET are omitted, not 403'd.
+	p := s.principal(r)
 	s.mu.Lock()
 	s.evictJobsLocked()
 	jobs := make([]Job, 0, len(s.jobs))
 	for _, qj := range s.jobs {
 		if filter != "" && qj.Status != filter {
+			continue
+		}
+		if !auth.CanRead(p, auth.ObjectJob, qj.Owner) {
 			continue
 		}
 		jobs = append(jobs, qj.Job)

@@ -94,13 +94,16 @@ func (l *rateLimiter) sweepLocked(now time.Time) {
 	}
 }
 
-// clientKey identifies the caller for rate limiting: the X-Client-Id header
-// when present (the dongle identity a fleet deployment sends), else the
+// clientKey identifies the caller for rate limiting. An authenticated
+// request is keyed by its API key id — an identity the caller cannot spoof
+// or rotate for free, unlike the X-Client-Id header the limiter originally
+// trusted (any client could mint a fresh header value per request and dodge
+// the bucket entirely). Anonymous requests (auth disabled) fall back to the
 // remote host — coarse, but enough to stop one chatty device from starving
 // the rest.
-func clientKey(r *http.Request) string {
-	if id := r.Header.Get("X-Client-Id"); id != "" {
-		return "id:" + id
+func (s *Service) clientKey(r *http.Request) string {
+	if p := s.principal(r); p.KeyID != "" {
+		return "key:" + p.KeyID
 	}
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return "addr:" + host
@@ -219,7 +222,7 @@ func (s *Service) admitSubmit(w http.ResponseWriter, r *http.Request) bool {
 	if s.limiter == nil {
 		return true
 	}
-	ok, wait := s.limiter.allow(clientKey(r))
+	ok, wait := s.limiter.allow(s.clientKey(r))
 	if ok {
 		return true
 	}

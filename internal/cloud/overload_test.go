@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"medsen/internal/auth"
 )
 
 // TestRateLimiterTokenBucket drives the limiter with a pinned clock: burst
@@ -57,20 +59,33 @@ func TestRateLimiterSweep(t *testing.T) {
 	}
 }
 
-// TestClientKeyForms covers the three identity forms the limiter keys on.
+// TestClientKeyForms covers the identity forms the limiter keys on: the
+// authenticated key id when a principal is present, the remote host when
+// not, and the raw remote address as the last resort. The spoofable
+// X-Client-Id header is deliberately ignored.
 func TestClientKeyForms(t *testing.T) {
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
 	r := httptest.NewRequest(http.MethodPost, "/", nil)
 	r.RemoteAddr = "10.1.2.3:5555"
-	if k := clientKey(r); k != "addr:10.1.2.3" {
+	if k := svc.clientKey(r); k != "addr:10.1.2.3" {
 		t.Fatalf("host key = %q", k)
 	}
 	r.Header.Set("X-Client-Id", "dongle-7")
-	if k := clientKey(r); k != "id:dongle-7" {
-		t.Fatalf("header key = %q", k)
+	if k := svc.clientKey(r); k != "addr:10.1.2.3" {
+		t.Fatalf("X-Client-Id must not key the limiter, got %q", k)
 	}
-	r.Header.Del("X-Client-Id")
+	r = r.WithContext(context.WithValue(r.Context(), principalCtxKey{},
+		auth.Principal{KeyID: "key-9", Role: auth.RoleOwner, Subject: "alice"}))
+	if k := svc.clientKey(r); k != "key:key-9" {
+		t.Fatalf("principal key = %q", k)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/", nil)
 	r.RemoteAddr = "not-a-hostport"
-	if k := clientKey(r); k != "addr:not-a-hostport" {
+	if k := svc.clientKey(r); k != "addr:not-a-hostport" {
 		t.Fatalf("fallback key = %q", k)
 	}
 }
@@ -104,7 +119,22 @@ func TestQueueEstimatorWindow(t *testing.T) {
 // client sees 429 rate_limited with a Retry-After hint, a compliant retry
 // (the client waits it out) succeeds, and no duplicate analysis is created.
 func TestRateLimitedSubmitGets429(t *testing.T) {
-	svc, err := NewService(ServiceConfig{RateLimit: 2, RateBurst: 1})
+	// Authentication gives each client an unspoofable limiter identity (both
+	// clients share the test server's loopback address, so per-key buckets
+	// are the only thing isolating them).
+	ks, err := auth.OpenKeystore(nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aliceKey, err := ks.Issue(auth.RoleOwner, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bobKey, err := ks.Issue(auth.RoleOwner, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(ServiceConfig{RateLimit: 2, RateBurst: 1, Keystore: ks})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +145,7 @@ func TestRateLimitedSubmitGets429(t *testing.T) {
 	_, payload := testCapture(t, 121, 10)
 
 	// No retry policy: the raw 429 shape is observable.
-	bare := &Client{BaseURL: ts.URL, ClientID: "dev-1"}
+	bare := &Client{BaseURL: ts.URL, APIKey: aliceKey}
 	if _, err := bare.SubmitCompressedKeyed(ctx, payload, "rl-1"); err != nil {
 		t.Fatalf("burst submit: %v", err)
 	}
@@ -131,15 +161,16 @@ func TestRateLimitedSubmitGets429(t *testing.T) {
 		t.Fatalf("apiErr = %+v, want 429 with Retry-After", apiErr)
 	}
 
-	// A second client has its own bucket.
-	other := &Client{BaseURL: ts.URL, ClientID: "dev-2"}
+	// A second key has its own bucket — even with a spoofed X-Client-Id
+	// matching nobody, and the same remote address.
+	other := &Client{BaseURL: ts.URL, APIKey: bobKey, ClientID: "spoof-attempt"}
 	if _, err := other.SubmitCompressedKeyed(ctx, payload, "rl-other"); err != nil {
 		t.Fatalf("isolated client: %v", err)
 	}
 
 	// Compliant retry: with a retry policy the client honors Retry-After and
 	// the same submission (same key) lands exactly once.
-	retrying := &Client{BaseURL: ts.URL, ClientID: "dev-1",
+	retrying := &Client{BaseURL: ts.URL, APIKey: aliceKey,
 		Retry: &RetryPolicy{MaxAttempts: 4, BaseDelay: 20 * time.Millisecond}}
 	start := time.Now()
 	sub, err := retrying.SubmitCompressedKeyed(ctx, payload, "rl-2")

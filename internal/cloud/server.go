@@ -16,6 +16,8 @@ import (
 	"sync"
 	"time"
 
+	"medsen/internal/audit"
+	"medsen/internal/auth"
 	"medsen/internal/beads"
 	"medsen/internal/classify"
 	"medsen/internal/csvio"
@@ -57,6 +59,11 @@ type Service struct {
 	// uploadLimit is maxUploadBytes, overridable by tests that exercise the
 	// 413 path without gigabyte payloads.
 	uploadLimit int64
+	// keystore, when non-nil, requires API-key authentication on every
+	// /api/v1 request (auth.go). auditLog, when non-nil, records the
+	// tamper-evident access trail.
+	keystore *auth.Keystore
+	auditLog *audit.Log
 
 	mu       sync.RWMutex
 	analyses map[string]*storedAnalysis
@@ -93,6 +100,10 @@ type Service struct {
 type storedAnalysis struct {
 	Report Report
 	UserID string
+	// Owner is the principal subject that submitted the capture ("" when
+	// submitted anonymously or by a subject-less clinic/admin key); RBAC
+	// scopes owner-role reads to it.
+	Owner string
 }
 
 // ServiceConfig bundles the service dependencies.
@@ -135,8 +146,8 @@ type ServiceConfig struct {
 	// RateLimit, when positive, enforces a per-client token-bucket limit on
 	// uploads (sync and async alike): sustained submissions per second,
 	// answered with 429 rate_limited + Retry-After beyond it. Clients are
-	// keyed by the X-Client-Id header, falling back to the remote host.
-	// 0 disables rate limiting.
+	// keyed by the authenticated API key, falling back to the remote host
+	// when authentication is disabled. 0 disables rate limiting.
 	RateLimit float64
 	// RateBurst is the token-bucket capacity — how many submits a client
 	// may burst before the sustained rate applies (0 → max(1, ⌈2×RateLimit⌉)).
@@ -151,6 +162,16 @@ type ServiceConfig struct {
 	// MaxDedupEntries caps the idempotency index; the oldest completed
 	// entries are evicted beyond it (0 → 65536, negative → unbounded).
 	MaxDedupEntries int
+	// Keystore, when non-nil, enables authentication: every /api/v1
+	// request must carry an Authorization: Bearer API key issued by it,
+	// and each handler authorizes the key's principal against the object
+	// it touches (owner/clinic/admin RBAC). nil leaves the API anonymous
+	// with full access, exactly as before authentication existed.
+	Keystore *auth.Keystore
+	// Audit, when non-nil, records submits, reads, authorization denials
+	// and key lifecycle events to the hash-chained audit trail, served to
+	// admins at GET /api/v1/audit.
+	Audit *audit.Log
 }
 
 // NewService builds the analysis service.
@@ -223,6 +244,8 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		jobTimeout:      cfg.JobTimeout,
 		maxQueueWait:    cfg.MaxQueueWait,
 		uploadLimit:     maxUploadBytes,
+		keystore:        cfg.Keystore,
+		auditLog:        cfg.Audit,
 		jobTTL:          cfg.JobTTL,
 		maxTerminalJobs: cfg.MaxTerminalJobs,
 		maxDedupEntries: cfg.MaxDedupEntries,
@@ -263,7 +286,9 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 // the provider).
 func (s *Service) Registry() *beads.Registry { return s.registry }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. With a keystore the /api/v1 surface sits
+// behind the bearer-authentication middleware; /healthz, /readyz and
+// /metrics stay anonymous.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -277,7 +302,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/analyses/{id}/authenticate", s.handleAuthenticate)
 	mux.HandleFunc("POST /api/v1/users", s.handleEnroll)
 	mux.HandleFunc("GET /api/v1/users/{id}/analyses", s.handleUserAnalyses)
-	return mux
+	mux.HandleFunc("POST /api/v1/keys", s.handleIssueKey)
+	mux.HandleFunc("GET /api/v1/keys", s.handleListKeys)
+	mux.HandleFunc("DELETE /api/v1/keys/{id}", s.handleRevokeKey)
+	mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
+	return s.withAuth(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -342,6 +371,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.admitSubmit(w, r) {
 		return
 	}
+	p := s.principal(r)
+	if !s.authorize(w, r, auth.ActionCreate, auth.Object{Type: auth.ObjectAnalysis, Owner: p.Subject},
+		"analysis.create", "") {
+		return
+	}
 	// MaxBytesReader fails the read at the limit — an oversized upload gets
 	// its 413 as soon as the limit is crossed instead of being buffered to
 	// the end first (and the server closes the connection on it).
@@ -366,18 +400,21 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
+	// Idempotency keys are namespaced per tenant so one patient's key (or a
+	// guessed digest) can never resolve to another patient's analysis.
+	key = scopedCaptureKey(p, key)
 	switch async := r.URL.Query().Get("async"); async {
 	case "", "0", "false":
 	case "1", "true":
 		// The job payload outlives this request (queued, journaled), so it
 		// cannot alias the pooled read buffer.
-		s.handleSubmitAsync(w, bytes.Clone(body), key)
+		s.handleSubmitAsync(w, bytes.Clone(body), key, p)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad async parameter %q", async))
 		return
 	}
-	s.handleSubmitSync(w, body, key)
+	s.handleSubmitSync(w, body, key, p)
 }
 
 // handleSubmitSync runs the inline analysis with the idempotency index
@@ -385,7 +422,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // original result, a duplicate of in-flight work answers 409
 // duplicate_in_flight + Retry-After, and only a genuinely new capture — one
 // that also survives the priority-lane shed check — is analyzed.
-func (s *Service) handleSubmitSync(w http.ResponseWriter, body []byte, key string) {
+func (s *Service) handleSubmitSync(w http.ResponseWriter, body []byte, key string, p auth.Principal) {
 	s.mu.Lock()
 	analysisID, job, outcome := s.claimCaptureLocked(key)
 	var report Report
@@ -437,7 +474,7 @@ func (s *Service) handleSubmitSync(w http.ResponseWriter, body []byte, key strin
 		return
 	}
 	s.mu.Lock()
-	id, err := s.storeReportLocked(report)
+	id, err := s.storeReportLocked(report, p.Subject)
 	if err == nil {
 		s.completeCaptureLocked(key, id)
 	} else {
@@ -450,6 +487,7 @@ func (s *Service) handleSubmitSync(w http.ResponseWriter, body []byte, key strin
 		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
+	s.auditEvent(p, "analysis.create", id, audit.OutcomeOK, "")
 	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Report: report})
 }
 
@@ -500,14 +538,14 @@ func (s *Service) probeStateDir() error {
 // the journal loaders' document scans.
 const readyProbeName = ".readyz-probe.tmp"
 
-// storeReportLocked assigns an analysis id, stores and persists the report,
-// and counts the upload. Persistence happens before any in-memory commit: a
-// failed write must not leave a ghost analysis readable at GET
-// /api/v1/analyses/{id} or inflate the upload counter. Callers must hold
-// s.mu.
-func (s *Service) storeReportLocked(report Report) (string, error) {
+// storeReportLocked assigns an analysis id, stores and persists the report
+// under its owner principal, and counts the upload. Persistence happens
+// before any in-memory commit: a failed write must not leave a ghost
+// analysis readable at GET /api/v1/analyses/{id} or inflate the upload
+// counter. Callers must hold s.mu.
+func (s *Service) storeReportLocked(report Report, owner string) (string, error) {
 	id := "an-" + strconv.Itoa(s.nextID+1)
-	stored := &storedAnalysis{Report: report}
+	stored := &storedAnalysis{Report: report, Owner: owner}
 	if err := s.persistAnalysis(id, stored); err != nil {
 		return "", err
 	}
@@ -521,6 +559,7 @@ func (s *Service) storeReportLocked(report Report) (string, error) {
 type AnalysisSummary struct {
 	ID        string  `json:"id"`
 	UserID    string  `json:"user_id,omitempty"`
+	Owner     string  `json:"owner,omitempty"`
 	PeakCount int     `json:"peak_count"`
 	DurationS float64 `json:"duration_s"`
 }
@@ -564,12 +603,20 @@ func (s *Service) handleListAnalyses(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
+	// The listing is scope-filtered, not authorized wholesale: an owner key
+	// sees exactly the rows whose GET it could perform, so the listing never
+	// leaks another tenant's existence.
+	p := s.principal(r)
 	s.mu.RLock()
 	summaries := make([]AnalysisSummary, 0, len(s.analyses))
 	for id, stored := range s.analyses {
+		if !auth.CanRead(p, auth.ObjectAnalysis, stored.Owner) {
+			continue
+		}
 		summaries = append(summaries, AnalysisSummary{
 			ID:        id,
 			UserID:    stored.UserID,
+			Owner:     stored.Owner,
 			PeakCount: stored.Report.PeakCount,
 			DurationS: stored.Report.DurationS,
 		})
@@ -591,6 +638,11 @@ func (s *Service) handleGetAnalysis(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("analysis %q not found", id))
 		return
 	}
+	if !s.authorize(w, r, auth.ActionRead, auth.Object{Type: auth.ObjectAnalysis, Owner: stored.Owner},
+		"analysis.read", id) {
+		return
+	}
+	s.auditEvent(s.principal(r), "analysis.read", id, audit.OutcomeOK, "")
 	writeJSON(w, http.StatusOK, stored.Report)
 }
 
@@ -601,6 +653,12 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("analysis %q not found", id))
+		return
+	}
+	// Authentication mutates the analysis (links it to an identity), so it
+	// is an update on the analysis object.
+	if !s.authorize(w, r, auth.ActionUpdate, auth.Object{Type: auth.ObjectAnalysis, Owner: stored.Owner},
+		"analysis.authenticate", id) {
 		return
 	}
 	res, err := AuthenticateReport(stored.Report, s.model, s.registry, s.flowUlPerMin)
@@ -628,6 +686,12 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	outcome := audit.OutcomeDenied
+	if res.Authenticated {
+		outcome = audit.OutcomeOK
+	}
+	s.auditEvent(s.principal(r), "analysis.authenticate", id, outcome,
+		fmt.Sprintf("authenticated=%t", res.Authenticated))
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -641,6 +705,11 @@ type EnrollRequest struct {
 }
 
 func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	// Enrollment registers an identity for someone else, so it is an
+	// unowned user-object create: clinic and admin only.
+	if !s.authorize(w, r, auth.ActionCreate, auth.Object{Type: auth.ObjectUser}, "user.enroll", "") {
+		return
+	}
 	var req EnrollRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding enrollment: %w", err))
@@ -663,6 +732,7 @@ func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err)
 		return
 	}
+	s.auditEvent(s.principal(r), "user.enroll", req.UserID, audit.OutcomeOK, "")
 	writeJSON(w, http.StatusCreated, map[string]string{"user_id": req.UserID})
 }
 
@@ -673,6 +743,13 @@ func (s *Service) handleUserAnalyses(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	user := r.PathValue("id")
+	// The per-user listing is a user-scoped read: a patient key may read its
+	// own listing (subject == path id), clinic/admin may read any.
+	if !s.authorize(w, r, auth.ActionRead, auth.Object{Type: auth.ObjectUser, Owner: user},
+		"user.read", user) {
+		return
+	}
+	s.auditEvent(s.principal(r), "user.read", user, audit.OutcomeOK, "")
 	s.mu.RLock()
 	ids := append([]string(nil), s.byUser[user]...)
 	s.mu.RUnlock()
@@ -720,11 +797,19 @@ type Metrics struct {
 	Shed               int64 `json:"shed"`
 	DedupHits          int64 `json:"dedup_hits"`
 	DedupJournalErrors int64 `json:"dedup_journal_errors"`
+	// Auth and audit counters: requests refused for missing/bad credentials
+	// (401), requests refused by RBAC (403), and audit-trail appends that
+	// failed (the request still completed; the trail has a gap).
+	AuthDenied         int64 `json:"auth_denied"`
+	PermissionDenied   int64 `json:"permission_denied"`
+	AuditJournalErrors int64 `json:"audit_journal_errors"`
 	// Point-in-time gauges: idempotency index size, jobs waiting for a
-	// worker, and the shedder's current queue-wait estimate.
+	// worker, the shedder's current queue-wait estimate, and the audit
+	// chain length.
 	DedupEntries int   `json:"dedup_entries"`
 	QueueDepth   int   `json:"queue_depth"`
 	QueueWaitMS  int64 `json:"queue_wait_ms"`
+	AuditRecords int   `json:"audit_records"`
 }
 
 // Snapshot returns the current counters.
@@ -737,6 +822,9 @@ func (s *Service) Snapshot() Metrics {
 	m.DedupEntries = len(s.dedup)
 	m.QueueDepth = len(s.jobCh)
 	m.QueueWaitMS = s.estQueueWaitLocked().Milliseconds()
+	if s.auditLog != nil {
+		m.AuditRecords = s.auditLog.Len()
+	}
 	return m
 }
 

@@ -24,6 +24,7 @@ import (
 type persistedAnalysis struct {
 	ID     string `json:"id"`
 	UserID string `json:"user_id,omitempty"`
+	Owner  string `json:"owner,omitempty"`
 	Report Report `json:"report"`
 }
 
@@ -38,7 +39,7 @@ func (s *Service) persistAnalysis(id string, stored *storedAnalysis) error {
 	if s.stateDir == "" {
 		return nil
 	}
-	doc := persistedAnalysis{ID: id, UserID: stored.UserID, Report: stored.Report}
+	doc := persistedAnalysis{ID: id, UserID: stored.UserID, Owner: stored.Owner, Report: stored.Report}
 	return s.writeDoc(id, s.analysisFileName(id), doc)
 }
 
@@ -78,6 +79,9 @@ type persistedJob struct {
 	// CaptureKey is the idempotency key that owns the job, so a recovered
 	// job still updates the dedup index when it finishes.
 	CaptureKey string `json:"capture_key,omitempty"`
+	// Owner is the submitting principal's subject, so recovery preserves
+	// the tenant scope of the job and its eventual analysis.
+	Owner string `json:"owner,omitempty"`
 }
 
 // jobFilePrefix distinguishes job journal documents from analysis documents
@@ -103,6 +107,7 @@ func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
 		ErrorCode:  qj.ErrorCode,
 		Error:      qj.Error,
 		CaptureKey: qj.captureKey,
+		Owner:      qj.Owner,
 	}
 	if !qj.startedAt.IsZero() {
 		doc.StartedAtUnix = qj.startedAt.Unix()
@@ -170,6 +175,7 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			AnalysisID: doc.AnalysisID,
 			ErrorCode:  doc.ErrorCode,
 			Error:      doc.Error,
+			Owner:      doc.Owner,
 		}, captureKey: doc.CaptureKey}
 		switch {
 		case doc.Status.Terminal():
@@ -239,7 +245,7 @@ func (s *Service) loadState() error {
 		if doc.ID == "" {
 			return fmt.Errorf("cloud: document %s lacks an id", name)
 		}
-		s.analyses[doc.ID] = &storedAnalysis{Report: doc.Report, UserID: doc.UserID}
+		s.analyses[doc.ID] = &storedAnalysis{Report: doc.Report, UserID: doc.UserID, Owner: doc.Owner}
 		if doc.UserID != "" {
 			s.byUser[doc.UserID] = append(s.byUser[doc.UserID], doc.ID)
 		}
