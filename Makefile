@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json fuzz vet fmt experiments clean
 
 all: build test
 
@@ -32,6 +32,15 @@ bench-json:
 # Re-measure the hot paths and fail on a regression vs. the baseline.
 bench-compare:
 	$(GO) run ./cmd/medsen-bench -compare BENCH_5.json
+
+# Fleet smoke: 100 simulated devices against a self-hosted service; fails on
+# any capture loss. Writes the SLO summary next to the bench baselines.
+loadgen-smoke:
+	$(GO) run ./cmd/medsen-loadgen -self-host -devices 100 -captures 1 -dedup 0.1 -json LOADGEN_SLO.json
+
+# Refresh the committed fleet SLO baseline (run on a quiet machine).
+loadgen-json:
+	$(GO) run ./cmd/medsen-loadgen -self-host -devices 100 -captures 2 -dedup 0.1 -json LOADGEN_7.json
 
 # Short fuzz passes over every wire-format parser.
 fuzz:

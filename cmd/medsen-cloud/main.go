@@ -23,6 +23,10 @@
 // verified on startup, served to admins at GET /api/v1/audit. Use
 // -bootstrap-admin-key to install the first admin credential.
 //
+// GET /metrics serves the service counters as JSON by default; a Prometheus
+// scraper gets the text exposition format via ?format=prometheus or its
+// Accept header. Drive the service at fleet scale with medsen-loadgen.
+//
 // Usage:
 //
 //	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
@@ -174,7 +178,7 @@ func run() int {
 		"GET /api/v1/analyses/{id}, GET /api/v1/jobs, GET /api/v1/jobs/{id}, " +
 		"POST /api/v1/analyses/{id}/authenticate, POST /api/v1/users, GET /api/v1/users/{id}/analyses, " +
 		"POST/GET /api/v1/keys, DELETE /api/v1/keys/{id}, GET /api/v1/audit, " +
-		"GET /healthz, GET /readyz")
+		"GET /healthz, GET /readyz, GET /metrics[?format=prometheus]")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -437,6 +437,15 @@ func (c *Client) ListJobsPage(ctx context.Context, f JobFilter) ([]Job, int, err
 	return out.Jobs, totalCount(meta), nil
 }
 
+// Metrics fetches the service's JSON metrics document. Load tooling diffs
+// two snapshots around a run to report server-side shed/rate-limit/dedup
+// counts; scrapers wanting the Prometheus rendering hit /metrics directly.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var out Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics?format=json", nil, "", "", &out, nil)
+	return out, err
+}
+
 // GetReport fetches a stored analysis report.
 func (c *Client) GetReport(ctx context.Context, id string) (Report, error) {
 	var out Report

@@ -2,13 +2,17 @@ package cloud
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"medsen/internal/audit"
 )
 
 // TestSyncResubmitReturnsOriginal: the same payload submitted twice (no
@@ -194,6 +198,88 @@ func TestAsyncDuplicateReturnsOwningJob(t *testing.T) {
 		t.Fatalf("StoredAnalyses = %d, want 1", m.StoredAnalyses)
 	}
 	svc.Close()
+}
+
+// TestAsyncDuplicateOfStoredAnalysisGetsLocation is the regression test for
+// the unpollable synthesized job: an async duplicate of an already stored
+// analysis used to answer 202 with a done job that had no id, no Location
+// header, and no audit record — an accepted submission the caller could not
+// follow anywhere. The 202 must point at the stored analysis and the dedup
+// hit must land in the audit trail.
+func TestAsyncDuplicateOfStoredAnalysisGetsLocation(t *testing.T) {
+	log, err := audit.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	svc, err := NewService(ServiceConfig{Audit: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	client := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	_, payload := testCapture(t, 143, 10)
+
+	// The capture arrives synchronously first, so the dedup entry holds an
+	// analysis id but no job record.
+	first, err := client.SubmitCompressed(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw async duplicate: the headers are the contract under test.
+	resp, err := http.Post(ts.URL+"/api/v1/analyses?async=true", "application/zip",
+		strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async duplicate status %d, want 202", resp.StatusCode)
+	}
+	wantLoc := "/api/v1/analyses/" + first.ID
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("Location = %q, want %q", loc, wantLoc)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "" || job.Status != JobDone || job.AnalysisID != first.ID {
+		t.Fatalf("synthesized job = %+v", job)
+	}
+
+	// The Location is followable: it serves the stored analysis.
+	got, err := http.Get(ts.URL + wantLoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Body.Close()
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d, want 200", wantLoc, got.StatusCode)
+	}
+
+	// The dedup hit is audited against the analysis it resolved to.
+	recs := log.Snapshot("", "job.dedup")
+	if len(recs) != 1 || recs[0].Object != first.ID || recs[0].Outcome != audit.OutcomeOK {
+		t.Fatalf("job.dedup audit records = %+v, want one OK record for %s", recs, first.ID)
+	}
+
+	// The client wrapper resolves the same duplicate straight to the report.
+	again, err := client.SubmitCompressedAsync(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != JobDone || again.AnalysisID != first.ID {
+		t.Fatalf("client async duplicate = %+v", again)
+	}
 }
 
 // TestSubmitAndPollDuplicateSkipsPolling: once the owning job's record has

@@ -624,7 +624,7 @@ func TestCloseEnqueuePollRace(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for k := 0; k < 5; k++ {
-					_, _, _ = svc.enqueueJob(payload, "", "") // rejection and shutdown errors are expected
+					_, _, _, _ = svc.enqueueJob(payload, "", "") // rejection and shutdown errors are expected
 				}
 			}()
 		}
@@ -745,7 +745,7 @@ func TestShutdownIdempotent(t *testing.T) {
 	if err := svc2.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc2.enqueueJob([]byte("x"), "", ""); err == nil {
+	if _, _, _, err := svc2.enqueueJob([]byte("x"), "", ""); err == nil {
 		t.Fatal("enqueue after shutdown should fail")
 	}
 }

@@ -182,23 +182,23 @@ var errShutdown = errors.New("cloud: service is shutting down")
 // key whose owning job failed may re-run. ok=false means the queue is at
 // capacity (backpressure). key "" bypasses the index. owner is the
 // submitting principal's subject, inherited by the stored analysis.
-func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, error) {
+func (s *Service) enqueueJob(payload []byte, key, owner string) (job Job, deduped, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.jobsClosed {
-		return Job{}, false, errShutdown
+		return Job{}, false, false, errShutdown
 	}
 	s.evictJobsLocked()
 	if key != "" {
 		if e := s.dedup[key]; e != nil {
 			if e.pending {
 				s.metrics.DedupHits++
-				return Job{}, false, errDuplicateInFlight
+				return Job{}, true, false, errDuplicateInFlight
 			}
 			if e.jobID != "" {
 				if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed {
 					s.metrics.DedupHits++
-					return qj.Job, true, nil
+					return qj.Job, true, true, nil
 				}
 			}
 			if e.analysisID != "" {
@@ -206,7 +206,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, erro
 				// synchronously) but its analysis is stored: answer a
 				// synthesized done job so the caller skips polling entirely.
 				s.metrics.DedupHits++
-				return Job{Status: JobDone, AnalysisID: e.analysisID}, true, nil
+				return Job{Status: JobDone, AnalysisID: e.analysisID}, true, true, nil
 			}
 			// The owning job failed or vanished without a stored analysis:
 			// this submission may legitimately re-run the capture.
@@ -214,7 +214,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, erro
 	}
 	// A duplicate creates no new work, so only fresh admissions are shed.
 	if after, shed := s.shedLocked(false); shed {
-		return Job{}, false, &overloadError{retryAfter: after}
+		return Job{}, false, false, &overloadError{retryAfter: after}
 	}
 	// The id is committed only once the queue accepts the job, so 429
 	// rejections leave no gaps in the sequence.
@@ -223,7 +223,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, erro
 	case s.jobCh <- id:
 	default:
 		s.metrics.JobsRejected++
-		return Job{}, false, nil
+		return Job{}, false, false, nil
 	}
 	s.nextJobID++
 	qj := &queuedJob{Job: Job{ID: id, Status: JobQueued, Owner: owner}, payload: payload, captureKey: key}
@@ -232,7 +232,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, erro
 		// ignores the orphaned queue entry, and no dedup entry exists to
 		// block the caller's retry. The caller sees the error instead of a
 		// 202 for a job that could not be made durable.
-		return Job{}, false, err
+		return Job{}, false, false, err
 	}
 	s.jobs[id] = qj
 	if key != "" {
@@ -241,7 +241,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (Job, bool, erro
 		s.journalDedupLocked(e)
 	}
 	s.metrics.JobsEnqueued++
-	return qj.Job, true, nil
+	return qj.Job, false, true, nil
 }
 
 // runJob executes one queued analysis: decompress, analyze, store — the
@@ -409,7 +409,7 @@ const retryAfterSeconds = 1
 // done job when only the analysis survives — or 429 when the queue is full,
 // shed, or the capture is mid-analysis on the sync path (409).
 func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key string, p auth.Principal) {
-	job, ok, err := s.enqueueJob(body, key, p.Subject)
+	job, deduped, ok, err := s.enqueueJob(body, key, p.Subject)
 	if err != nil {
 		var oe *overloadError
 		switch {
@@ -434,9 +434,21 @@ func (s *Service) handleSubmitAsync(w http.ResponseWriter, body []byte, key stri
 			fmt.Errorf("job queue is at capacity (%d queued)", s.queueDepth))
 		return
 	}
-	if job.ID != "" {
+	switch {
+	case job.ID != "":
 		w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
-		s.auditEvent(p, "job.create", job.ID, audit.OutcomeOK, "")
+		action := "job.create"
+		if deduped {
+			action = "job.dedup"
+		}
+		s.auditEvent(p, action, job.ID, audit.OutcomeOK, "")
+	case job.AnalysisID != "":
+		// A synthesized done job has no job record to point at — the
+		// duplicate's analysis is already stored, so Location goes straight
+		// to the result instead of being silently omitted, and the dedup
+		// hit still lands in the audit trail.
+		w.Header().Set("Location", "/api/v1/analyses/"+job.AnalysisID)
+		s.auditEvent(p, "job.dedup", job.AnalysisID, audit.OutcomeOK, "")
 	}
 	writeJSON(w, http.StatusAccepted, job)
 }

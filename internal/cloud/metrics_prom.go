@@ -1,0 +1,87 @@
+package cloud
+
+// Prometheus rendering of the service metrics. GET /metrics has served a
+// JSON Metrics document since PR 1; fleet-scale operations (ROADMAP item 4)
+// need the same counters in a form Prometheus and its dashboards scrape
+// natively. The JSON document stays the default for existing tooling; a
+// scraper gets the text exposition format either explicitly
+// (?format=prometheus) or by content negotiation on its Accept header.
+//
+// Naming scheme (see DESIGN.md §7): every family carries the medsen_ prefix,
+// monotonic counters end in _total, gauges are bare nouns, and durations are
+// converted to base seconds (queue_wait_ms → medsen_queue_wait_seconds).
+// The family list below is pinned by TestPrometheusMetricNamesArePinned —
+// renaming a metric is a deliberate, test-visible act, because a silent
+// rename breaks every dashboard and alert built on the old name.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+
+	"medsen/internal/promexp"
+)
+
+// WritePrometheus renders a point-in-time metrics snapshot in the Prometheus
+// text exposition format.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	return writeMetricsProm(w, s.Snapshot())
+}
+
+// writeMetricsProm renders one Metrics snapshot. Split from WritePrometheus
+// so the exporter unit tests can feed a fully populated snapshot without
+// driving the whole service.
+func writeMetricsProm(w io.Writer, m Metrics) error {
+	pw := promexp.NewWriter(w)
+
+	pw.Counter("medsen_uploads_total", "Captures accepted and stored (sync and async).", float64(m.Uploads))
+	pw.Counter("medsen_upload_errors_total", "Uploads that failed decode, analysis, or storage.", float64(m.UploadErrors))
+	pw.Counter("medsen_authentications_total", "Cyto-coded authentication attempts.", float64(m.Authentications))
+	pw.Counter("medsen_auth_accepted_total", "Authentication attempts that matched an enrolled identifier.", float64(m.AuthAccepted))
+
+	pw.Counter("medsen_jobs_enqueued_total", "Async jobs accepted onto the queue.", float64(m.JobsEnqueued))
+	pw.Counter("medsen_jobs_rejected_total", "Async submissions bounced by queue-depth backpressure.", float64(m.JobsRejected))
+	pw.Counter("medsen_jobs_completed_total", "Async jobs that reached done.", float64(m.JobsCompleted))
+	pw.Counter("medsen_jobs_failed_total", "Async jobs that reached failed.", float64(m.JobsFailed))
+	pw.Counter("medsen_jobs_evicted_total", "Terminal job records dropped by retention.", float64(m.JobsEvicted))
+	pw.Counter("medsen_jobs_recovered_total", "Journaled jobs re-enqueued at startup.", float64(m.JobsRecovered))
+	pw.Counter("medsen_job_journal_errors_total", "Mid-run job journal writes that failed.", float64(m.JobJournalErrors))
+
+	pw.Counter("medsen_rate_limited_total", "Submissions bounced by the per-client rate limiter.", float64(m.RateLimited))
+	pw.Counter("medsen_shed_total", "Submissions shed by the queue-wait estimator.", float64(m.Shed))
+	pw.Counter("medsen_dedup_hits_total", "Duplicate submissions answered from the idempotency index.", float64(m.DedupHits))
+	pw.Counter("medsen_dedup_journal_errors_total", "Idempotency index journal writes that failed.", float64(m.DedupJournalErrors))
+
+	pw.Counter("medsen_auth_denied_total", "Requests refused for missing or bad credentials (401).", float64(m.AuthDenied))
+	pw.Counter("medsen_permission_denied_total", "Requests refused by RBAC (403).", float64(m.PermissionDenied))
+	pw.Counter("medsen_audit_journal_errors_total", "Audit-trail appends that failed.", float64(m.AuditJournalErrors))
+
+	pw.Gauge("medsen_stored_analyses", "Analyses currently stored.", float64(m.StoredAnalyses))
+	pw.Gauge("medsen_enrolled_users", "Identifiers in the enrollment registry.", float64(m.EnrolledUsers))
+	pw.Gauge("medsen_dedup_entries", "Capture keys in the idempotency index.", float64(m.DedupEntries))
+	pw.Gauge("medsen_queue_depth", "Async jobs waiting for a worker.", float64(m.QueueDepth))
+	pw.Gauge("medsen_queue_wait_seconds", "Estimated queue wait for a newly enqueued job.", float64(m.QueueWaitMS)/1e3)
+	pw.Gauge("medsen_audit_records", "Records in the audit chain.", float64(m.AuditRecords))
+
+	return pw.Err()
+}
+
+// wantsPrometheus decides the /metrics representation. The explicit
+// ?format= parameter wins; otherwise the Accept header decides — a
+// Prometheus scraper advertises text/plain (version 0.0.4) or the
+// OpenMetrics type, while JSON consumers send application/json or nothing.
+// The fallback stays JSON so every pre-existing consumer keeps working.
+func wantsPrometheus(r *http.Request) (prom bool, ok bool) {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true, true
+	case "json":
+		return false, true
+	case "":
+	default:
+		return false, false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text"), true
+}

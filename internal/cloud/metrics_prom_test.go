@@ -1,0 +1,197 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"medsen/internal/promexp"
+)
+
+// TestPrometheusMetricNamesArePinned is the rename gate: every exported
+// family, with its exact type, must appear here. A dashboard or alert built
+// on one of these names breaks silently if the name drifts, so changing this
+// list is a deliberate act reviewed with the exporter change itself.
+func TestPrometheusMetricNamesArePinned(t *testing.T) {
+	want := map[string]string{
+		"medsen_uploads_total":              promexp.TypeCounter,
+		"medsen_upload_errors_total":        promexp.TypeCounter,
+		"medsen_authentications_total":      promexp.TypeCounter,
+		"medsen_auth_accepted_total":        promexp.TypeCounter,
+		"medsen_jobs_enqueued_total":        promexp.TypeCounter,
+		"medsen_jobs_rejected_total":        promexp.TypeCounter,
+		"medsen_jobs_completed_total":       promexp.TypeCounter,
+		"medsen_jobs_failed_total":          promexp.TypeCounter,
+		"medsen_jobs_evicted_total":         promexp.TypeCounter,
+		"medsen_jobs_recovered_total":       promexp.TypeCounter,
+		"medsen_job_journal_errors_total":   promexp.TypeCounter,
+		"medsen_rate_limited_total":         promexp.TypeCounter,
+		"medsen_shed_total":                 promexp.TypeCounter,
+		"medsen_dedup_hits_total":           promexp.TypeCounter,
+		"medsen_dedup_journal_errors_total": promexp.TypeCounter,
+		"medsen_auth_denied_total":          promexp.TypeCounter,
+		"medsen_permission_denied_total":    promexp.TypeCounter,
+		"medsen_audit_journal_errors_total": promexp.TypeCounter,
+		"medsen_stored_analyses":            promexp.TypeGauge,
+		"medsen_enrolled_users":             promexp.TypeGauge,
+		"medsen_dedup_entries":              promexp.TypeGauge,
+		"medsen_queue_depth":                promexp.TypeGauge,
+		"medsen_queue_wait_seconds":         promexp.TypeGauge,
+		"medsen_audit_records":              promexp.TypeGauge,
+	}
+	var buf bytes.Buffer
+	if err := writeMetricsProm(&buf, Metrics{}); err != nil {
+		t.Fatalf("writeMetricsProm: %v", err)
+	}
+	fams, err := promexp.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	for name, typ := range want {
+		f := fams[name]
+		if f == nil {
+			t.Errorf("family %s missing from the exposition", name)
+			continue
+		}
+		if f.Type != typ {
+			t.Errorf("family %s has type %s, want %s", name, f.Type, typ)
+		}
+		if f.Help == "" {
+			t.Errorf("family %s has no HELP text", name)
+		}
+	}
+	for name := range fams {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unpinned family %s: add it here with its type (a rename breaks dashboards)", name)
+		}
+	}
+}
+
+// TestPrometheusValuesMatchSnapshot renders a fully populated snapshot and
+// cross-checks a sample of counter and gauge values, including the ms →
+// seconds conversion on the queue-wait gauge.
+func TestPrometheusValuesMatchSnapshot(t *testing.T) {
+	m := Metrics{
+		Uploads: 7, UploadErrors: 1, Authentications: 3, AuthAccepted: 2,
+		JobsEnqueued: 11, JobsRejected: 4, JobsCompleted: 9, JobsFailed: 2,
+		JobsEvicted: 5, JobsRecovered: 1, JobJournalErrors: 1,
+		RateLimited: 13, Shed: 6, DedupHits: 8, DedupJournalErrors: 1,
+		AuthDenied: 2, PermissionDenied: 1, AuditJournalErrors: 1,
+		StoredAnalyses: 42, EnrolledUsers: 5, DedupEntries: 17,
+		QueueDepth: 3, QueueWaitMS: 1500, AuditRecords: 99,
+	}
+	var buf bytes.Buffer
+	if err := writeMetricsProm(&buf, m); err != nil {
+		t.Fatalf("writeMetricsProm: %v", err)
+	}
+	fams, err := promexp.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	checks := map[string]float64{
+		"medsen_uploads_total":      7,
+		"medsen_rate_limited_total": 13,
+		"medsen_shed_total":         6,
+		"medsen_dedup_hits_total":   8,
+		"medsen_queue_depth":        3,
+		"medsen_queue_wait_seconds": 1.5,
+		"medsen_audit_records":      99,
+	}
+	for name, wantV := range checks {
+		f := fams[name]
+		if f == nil || len(f.Samples) != 1 {
+			t.Fatalf("family %s = %+v", name, f)
+		}
+		if f.Samples[0].Value != wantV {
+			t.Errorf("%s = %v, want %v", name, f.Samples[0].Value, wantV)
+		}
+	}
+}
+
+// TestMetricsContentNegotiation pins the /metrics representation selection:
+// JSON by default and on ?format=json, Prometheus on ?format=prometheus or a
+// scraper-style Accept header, 400 on an unknown format. Every Prometheus
+// response must parse line-for-line.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts, client := newTestServer(t)
+	ctx := context.Background()
+
+	// Store one analysis so the counters are non-zero.
+	_, payload := testCapture(t, 411, 10)
+	if _, err := client.SubmitCompressed(ctx, payload); err != nil {
+		t.Fatalf("SubmitCompressed: %v", err)
+	}
+
+	get := func(path string, accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Default: the historical JSON document.
+	resp, body := get("/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("default /metrics is not the JSON document: %v", err)
+	}
+	if m.Uploads != 1 {
+		t.Fatalf("uploads = %d, want 1", m.Uploads)
+	}
+
+	// Explicit and negotiated Prometheus, each parsed line-for-line.
+	for _, tc := range []struct{ path, accept string }{
+		{"/metrics?format=prometheus", ""},
+		{"/metrics", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1"},
+		{"/metrics", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4"},
+	} {
+		resp, body = get(tc.path, tc.accept)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s (Accept %q): status %d", tc.path, tc.accept, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != promexp.ContentType {
+			t.Fatalf("GET %s: Content-Type = %q", tc.path, ct)
+		}
+		fams, err := promexp.Parse(body)
+		if err != nil {
+			t.Fatalf("GET %s: exposition does not parse: %v\n%s", tc.path, err, body)
+		}
+		up := fams["medsen_uploads_total"]
+		if up == nil || up.Samples[0].Value != 1 {
+			t.Fatalf("GET %s: medsen_uploads_total = %+v", tc.path, up)
+		}
+	}
+
+	// ?format=json forces JSON even under a scraper Accept header.
+	resp, body = get("/metrics?format=json", "text/plain")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("?format=json is not JSON: %v", err)
+	}
+
+	// Unknown format: invalid_request.
+	resp, _ = get("/metrics?format=xml", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?format=xml status %d, want 400", resp.StatusCode)
+	}
+}

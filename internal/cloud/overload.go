@@ -23,6 +23,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -44,6 +45,7 @@ const maxRateBuckets = 65536
 type rateLimiter struct {
 	rate  float64
 	burst float64
+	max   int // bucket-map cap; maxRateBuckets outside tests
 	now   func() time.Time
 
 	mu      sync.Mutex
@@ -54,6 +56,7 @@ func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter 
 	return &rateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
+		max:     maxRateBuckets,
 		now:     now,
 		buckets: make(map[string]*tokenBucket),
 	}
@@ -67,8 +70,16 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	now := l.now()
 	b := l.buckets[key]
 	if b == nil {
-		if len(l.buckets) >= maxRateBuckets {
+		if len(l.buckets) >= l.max {
 			l.sweepLocked(now)
+			if len(l.buckets) >= l.max {
+				// Every bucket is mid-refill (a sustained flood of spoofed
+				// ids keeps them all active), so the sweep reclaimed nothing.
+				// The cap still holds: evict the longest-idle buckets. An
+				// evicted client restarts at full burst on its next request
+				// — a bounded courtesy, cheaper than an unbounded map.
+				l.evictOldestLocked()
+			}
 		}
 		b = &tokenBucket{tokens: l.burst, last: now}
 		l.buckets[key] = b
@@ -91,6 +102,32 @@ func (l *rateLimiter) sweepLocked(now time.Time) {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, k)
 		}
+	}
+}
+
+// evictOldestLocked drops the buckets with the oldest last-touch times. It
+// evicts a batch (1/64th of the cap, at least one) rather than a single
+// bucket so the O(n log n) scan amortizes to O(log n) per admitted client
+// under a sustained spoofed-id flood, instead of running on every insert.
+func (l *rateLimiter) evictOldestLocked() {
+	n := l.max / 64
+	if n < 1 {
+		n = 1
+	}
+	type idle struct {
+		key  string
+		last time.Time
+	}
+	order := make([]idle, 0, len(l.buckets))
+	for k, b := range l.buckets {
+		order = append(order, idle{k, b.last})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].last.Before(order[j].last) })
+	if n > len(order) {
+		n = len(order)
+	}
+	for _, e := range order[:n] {
+		delete(l.buckets, e.key)
 	}
 }
 

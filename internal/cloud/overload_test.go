@@ -59,6 +59,48 @@ func TestRateLimiterSweep(t *testing.T) {
 	}
 }
 
+// TestRateLimiterBucketCapHolds is the regression test for the unbounded
+// growth bug: when every bucket is mid-refill (a sustained flood of spoofed
+// client ids keeps them all active), the sweep reclaims nothing — and the
+// old code inserted the new bucket anyway, so the map grew one entry per
+// spoofed id without bound. The cap must hold by evicting the longest-idle
+// buckets instead.
+func TestRateLimiterBucketCapHolds(t *testing.T) {
+	now := time.Unix(7000, 0)
+	l := newRateLimiter(1, 4, func() time.Time { return now })
+	l.max = 64 // test-sized cap; production uses maxRateBuckets
+
+	// A flood of distinct ids arriving 1ms apart: every bucket has spent a
+	// token within the last second, so none is fully refilled and the sweep
+	// is useless. The cap must hold anyway.
+	for i := 0; i < 10*l.max; i++ {
+		now = now.Add(time.Millisecond)
+		if ok, _ := l.allow(fmt.Sprintf("spoof:%d", i)); !ok {
+			t.Fatalf("fresh id %d rejected (burst 4)", i)
+		}
+		l.mu.Lock()
+		n := len(l.buckets)
+		l.mu.Unlock()
+		if n > l.max {
+			t.Fatalf("bucket map grew to %d entries (cap %d) after %d spoofed ids",
+				n, l.max, i+1)
+		}
+	}
+
+	// Eviction favours the longest-idle buckets: the most recent id must
+	// still be resident with its spent token, not reset to a fresh burst.
+	l.mu.Lock()
+	b := l.buckets[fmt.Sprintf("spoof:%d", 10*l.max-1)]
+	l.mu.Unlock()
+	if b == nil {
+		t.Fatal("the newest bucket was evicted; eviction must drop the oldest")
+	}
+	if b.tokens >= l.burst {
+		t.Fatalf("newest bucket holds %.1f tokens, want < burst %g (its spend must survive)",
+			b.tokens, l.burst)
+	}
+}
+
 // TestClientKeyForms covers the identity forms the limiter keys on: the
 // authenticated key id when a principal is present, the remote host when
 // not, and the raw remote address as the last resort. The spoofable

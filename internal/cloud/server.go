@@ -24,6 +24,7 @@ import (
 	"medsen/internal/faultinject"
 	"medsen/internal/lockin"
 	"medsen/internal/microfluidic"
+	"medsen/internal/promexp"
 )
 
 // maxUploadBytes bounds one measurement upload (a 3 h capture compresses to
@@ -674,12 +675,7 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if res.Authenticated {
 		s.mu.Lock()
-		var persistErr error
-		if stored.UserID != res.UserID {
-			stored.UserID = res.UserID
-			s.byUser[res.UserID] = append(s.byUser[res.UserID], id)
-			persistErr = s.persistAnalysis(id, stored)
-		}
+		persistErr := s.linkAnalysisUserLocked(id, stored, res.UserID)
 		s.mu.Unlock()
 		if persistErr != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal, persistErr)
@@ -693,6 +689,44 @@ func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
 	s.auditEvent(s.principal(r), "analysis.authenticate", id, outcome,
 		fmt.Sprintf("authenticated=%t", res.Authenticated))
 	writeJSON(w, http.StatusOK, res)
+}
+
+// linkAnalysisUserLocked points an authenticated analysis at userID,
+// honouring the persist-then-commit invariant: the updated document is
+// written to disk from a copy first, and only a successful write mutates the
+// in-memory record and the byUser index. The old code committed first and
+// persisted second, so a failed write answered 500 while the link survived
+// in memory — a ghost the next restart silently dropped. A re-link to a
+// different user (an identifier re-enrolled to someone else) also migrates
+// the byUser index; previously the old user kept the analysis in their
+// listing forever. No-op when the analysis already links to userID.
+// Callers must hold s.mu for writing.
+func (s *Service) linkAnalysisUserLocked(id string, stored *storedAnalysis, userID string) error {
+	if stored.UserID == userID {
+		return nil
+	}
+	updated := *stored
+	updated.UserID = userID
+	if err := s.persistAnalysis(id, &updated); err != nil {
+		return err
+	}
+	if prev := stored.UserID; prev != "" {
+		ids := s.byUser[prev]
+		for i, aid := range ids {
+			if aid == id {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(s.byUser, prev)
+		} else {
+			s.byUser[prev] = ids
+		}
+	}
+	stored.UserID = userID
+	s.byUser[userID] = append(s.byUser[userID], id)
+	return nil
 }
 
 // EnrollRequest registers a user's cyto-coded identifier (performed by the
@@ -828,6 +862,23 @@ func (s *Service) Snapshot() Metrics {
 	return m
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+// handleMetrics serves the operational counters: the historical JSON
+// document by default, the Prometheus text exposition format when the caller
+// asks for it (?format=prometheus, or an Accept header advertising
+// text/plain / OpenMetrics — what real scrapers send). See metrics_prom.go.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	prom, ok := wantsPrometheus(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Errorf("bad format parameter %q (want json or prometheus)", r.URL.Query().Get("format")))
+		return
+	}
+	if !prom {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", promexp.ContentType)
+	// The exposition is rendered to the response directly; an encode error
+	// mid-stream can only abort the scrape.
+	_ = s.WritePrometheus(w)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"medsen/internal/beads"
 	"medsen/internal/drbg"
+	"medsen/internal/faultinject"
 	"medsen/internal/microfluidic"
 	"medsen/internal/sensor"
 )
@@ -138,6 +140,134 @@ func TestEnrollAndAuthenticateOverHTTP(t *testing.T) {
 	}
 	if len(ids) != 1 || ids[0] != sub.ID {
 		t.Fatalf("user analyses = %v, want [%s]", ids, sub.ID)
+	}
+}
+
+// failingWriteFS fails every WriteFile while armed — a toggleable fault the
+// seeded FaultyFS cannot express (the setup writes must succeed, then the
+// one write under test must fail, then a retry must succeed again).
+type failingWriteFS struct {
+	faultinject.OSFS
+	fail atomic.Bool
+}
+
+func (f *failingWriteFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if f.fail.Load() {
+		return errors.New("injected write failure")
+	}
+	return f.OSFS.WriteFile(name, data, perm)
+}
+
+// TestAuthenticatePersistFailureLeavesNoGhostLink is the regression test for
+// the persist-then-commit violation in handleAuthenticate: the old code
+// linked the analysis to the user in memory first and persisted second, so a
+// failed write answered 500 while the link lived on in memory — served from
+// /users/{id}/analyses until a restart silently dropped it. A failed persist
+// must leave no trace, and a retry once the disk recovers must succeed.
+func TestAuthenticatePersistFailureLeavesNoGhostLink(t *testing.T) {
+	ffs := &failingWriteFS{}
+	svc, err := NewService(ServiceConfig{StateDir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	client := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	id := beads.Identifier{microfluidic.TypeBead358: 2, microfluidic.TypeBead780: 4}
+	if err := client.Enroll(ctx, "alice", id); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	mixed, err := beads.DefaultAlphabet().MixedSample(id, microfluidic.NewSample(10,
+		map[microfluidic.Type]float64{microfluidic.TypeBloodCell: 1500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quietSensor().Acquire(sensor.AcquireConfig{Sample: mixed, DurationS: 240}, drbg.NewFromSeed(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.SubmitAcquisition(ctx, res.Acquisition)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk goes read-only exactly when authentication tries to link.
+	ffs.fail.Store(true)
+	_, err = client.Authenticate(ctx, sub.ID)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("authenticate with failing disk: err = %v, want 500", err)
+	}
+
+	// No ghost: the in-memory record and the per-user index are untouched.
+	svc.mu.RLock()
+	userID := svc.analyses[sub.ID].UserID
+	linked := len(svc.byUser["alice"])
+	svc.mu.RUnlock()
+	if userID != "" || linked != 0 {
+		t.Fatalf("failed persist left a ghost link: UserID=%q byUser=%d", userID, linked)
+	}
+	if ids, err := client.UserAnalyses(ctx, "alice"); err != nil || len(ids) != 0 {
+		t.Fatalf("user listing after failed persist = %v, %v; want empty", ids, err)
+	}
+
+	// Disk recovers: the same authenticate call now lands, and the link is
+	// durable — a restart from the same state dir still serves it.
+	ffs.fail.Store(false)
+	authRes, err := client.Authenticate(ctx, sub.ID)
+	if err != nil || !authRes.Authenticated || authRes.UserID != "alice" {
+		t.Fatalf("retry after recovery: %+v, %v", authRes, err)
+	}
+	if ids, err := client.UserAnalyses(ctx, "alice"); err != nil || len(ids) != 1 || ids[0] != sub.ID {
+		t.Fatalf("user listing after recovery = %v, %v; want [%s]", ids, err, sub.ID)
+	}
+}
+
+// TestLinkAnalysisUserMigration: re-linking an analysis to a different user
+// (the identifier was re-enrolled to someone else) must move it between
+// byUser listings — the old code appended to the new user but never removed
+// the old entry, so the previous user kept the analysis in their account
+// forever. Driven through the helper directly because AuthenticateReport is
+// deterministic: one capture cannot authenticate as two users over HTTP.
+func TestLinkAnalysisUserMigration(t *testing.T) {
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	stored := &storedAnalysis{}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+
+	if err := svc.linkAnalysisUserLocked("an-1", stored, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if stored.UserID != "alice" || len(svc.byUser["alice"]) != 1 {
+		t.Fatalf("first link: UserID=%q byUser=%v", stored.UserID, svc.byUser)
+	}
+	// Re-authenticating as the same user is a no-op, not a duplicate entry.
+	if err := svc.linkAnalysisUserLocked("an-1", stored, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.byUser["alice"]) != 1 {
+		t.Fatalf("same-user re-link duplicated the entry: %v", svc.byUser["alice"])
+	}
+	// Migration: bob gains the analysis, alice loses it (and her emptied
+	// key disappears rather than lingering as a zombie entry).
+	if err := svc.linkAnalysisUserLocked("an-1", stored, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if stored.UserID != "bob" {
+		t.Fatalf("UserID = %q, want bob", stored.UserID)
+	}
+	if ids, ok := svc.byUser["alice"]; ok {
+		t.Fatalf("alice still lists the migrated analysis: %v", ids)
+	}
+	if ids := svc.byUser["bob"]; len(ids) != 1 || ids[0] != "an-1" {
+		t.Fatalf("bob's listing = %v, want [an-1]", ids)
 	}
 }
 

@@ -1,0 +1,95 @@
+package phone
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"medsen/internal/csvio"
+	"medsen/internal/promexp"
+)
+
+// TestSubmitKeyedForcesDistinctAnalyses covers the loadgen seam: one payload
+// submitted under two explicit keys must store two analyses, while the
+// content-derived Submit path dedups a replay of the same bytes.
+func TestSubmitKeyedForcesDistinctAnalyses(t *testing.T) {
+	r := newRelay(t)
+	ctx := context.Background()
+	payload, err := csvio.CompressAcquisition(testAcquisition(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.SubmitKeyed(ctx, payload, "fleet-d0-c0")
+	if err != nil {
+		t.Fatalf("SubmitKeyed: %v", err)
+	}
+	b, err := r.SubmitKeyed(ctx, payload, "fleet-d0-c1")
+	if err != nil {
+		t.Fatalf("SubmitKeyed: %v", err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("distinct keys deduped to one analysis %s", a.ID)
+	}
+	dup, err := r.SubmitKeyed(ctx, payload, "fleet-d0-c0")
+	if err != nil {
+		t.Fatalf("SubmitKeyed replay: %v", err)
+	}
+	if dup.ID != a.ID {
+		t.Fatalf("replayed key stored a new analysis %s (want %s)", dup.ID, a.ID)
+	}
+	if m := r.Metrics(); m.LiveSubmits != 3 || m.SubmitFailures != 0 {
+		t.Fatalf("relay metrics = %+v", m)
+	}
+}
+
+// TestRelayMetricsWritePrometheus pins the relay-side metric families and
+// the one-hot breaker rendering.
+func TestRelayMetricsWritePrometheus(t *testing.T) {
+	m := RelayMetrics{
+		LiveSubmits:    5,
+		SubmitFailures: 2,
+		Spooled:        3,
+		BacklogFlushed: 1,
+		BreakerState:   BreakerOpen.String(),
+	}
+	var buf bytes.Buffer
+	pw := promexp.NewWriter(&buf)
+	m.WritePrometheus(pw, "device", "d7")
+	if err := pw.Err(); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := promexp.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	for name, want := range map[string]float64{
+		"medsen_relay_live_submits_total":    5,
+		"medsen_relay_submit_failures_total": 2,
+		"medsen_relay_spooled_total":         3,
+		"medsen_relay_backlog_flushed_total": 1,
+	} {
+		f := fams[name]
+		if f == nil || f.Type != promexp.TypeCounter {
+			t.Fatalf("family %s = %+v", name, f)
+		}
+		if f.Samples[0].Value != want || f.Samples[0].Labels["device"] != "d7" {
+			t.Fatalf("family %s sample = %+v", name, f.Samples[0])
+		}
+	}
+	br := fams["medsen_relay_breaker_state"]
+	if br == nil || br.Type != promexp.TypeGauge || len(br.Samples) != 3 {
+		t.Fatalf("breaker family = %+v", br)
+	}
+	for _, s := range br.Samples {
+		want := 0.0
+		if s.Labels["state"] == "open" {
+			want = 1
+		}
+		if s.Value != want {
+			t.Fatalf("breaker state %q = %v, want %v", s.Labels["state"], s.Value, want)
+		}
+		if s.Labels["device"] != "d7" {
+			t.Fatalf("breaker sample lost the extra label: %+v", s)
+		}
+	}
+}

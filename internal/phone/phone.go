@@ -18,6 +18,7 @@ import (
 	"medsen/internal/cloud"
 	"medsen/internal/csvio"
 	"medsen/internal/lockin"
+	"medsen/internal/promexp"
 )
 
 // Link models a cellular uplink by bandwidth and round-trip time. Transfer
@@ -141,6 +142,35 @@ func (r *Relay) Metrics() RelayMetrics {
 	return m
 }
 
+// WritePrometheus appends the relay's counters and breaker state to a
+// Prometheus exposition, the phone-side families next to the cloud's
+// medsen_* set. The breaker state renders one-hot — one sample per state,
+// value 1 on the current one — so dashboards can plot transitions without
+// decoding an enum. labels are extra name/value pairs stamped on every
+// sample (e.g. a loadgen device id); aggregating exporters that merge many
+// relays must pass distinct labels or emit one merged snapshot.
+func (m RelayMetrics) WritePrometheus(pw *promexp.Writer, labels ...string) {
+	pw.Counter("medsen_relay_live_submits_total",
+		"Captures delivered over the live upload path.", float64(m.LiveSubmits), labels...)
+	pw.Counter("medsen_relay_submit_failures_total",
+		"Live submissions that returned an error.", float64(m.SubmitFailures), labels...)
+	pw.Counter("medsen_relay_spooled_total",
+		"Captures diverted to the offline queue.", float64(m.Spooled), labels...)
+	pw.Counter("medsen_relay_backlog_flushed_total",
+		"Spooled captures shipped by the post-recovery flush.", float64(m.BacklogFlushed), labels...)
+	for _, st := range []string{
+		BreakerClosed.String(), BreakerOpen.String(), BreakerHalfOpen.String(),
+	} {
+		v := 0.0
+		if st == m.BreakerState {
+			v = 1
+		}
+		pw.Gauge("medsen_relay_breaker_state",
+			"One-hot circuit breaker state (1 on the current state).", v,
+			append(append([]string(nil), labels...), "state", st)...)
+	}
+}
+
 func (r *Relay) progress(format string, args ...any) {
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf(format, args...))
@@ -195,10 +225,17 @@ func (r *Relay) Upload(ctx context.Context, acq lockin.Acquisition) (cloud.Submi
 // offline queue, or from a fresh process after a phone crash — dedups
 // server-side instead of producing a second analysis.
 func (r *Relay) Submit(ctx context.Context, payload []byte) (cloud.SubmitResponse, error) {
+	return r.SubmitKeyed(ctx, payload, cloud.CaptureKey(payload))
+}
+
+// SubmitKeyed is Submit under an explicit Idempotency-Key. Distinct keys
+// force distinct analyses even for byte-identical payloads, which is what a
+// load generator replaying one reference capture across a simulated fleet
+// needs; production relays should stay on Submit's content-derived key.
+func (r *Relay) SubmitKeyed(ctx context.Context, payload []byte, key string) (cloud.SubmitResponse, error) {
 	if r.Client == nil {
 		return cloud.SubmitResponse{}, errors.New("phone: relay has no cloud client")
 	}
-	key := cloud.CaptureKey(payload)
 	var sub cloud.SubmitResponse
 	var err error
 	if r.Async {

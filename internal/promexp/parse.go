@@ -1,0 +1,250 @@
+package promexp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample line.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels holds the sample's label set (nil when unlabeled).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Family is one parsed metric family: its metadata plus every sample.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse validates a complete text exposition and returns its families keyed
+// by name. It enforces the invariants a strict scraper relies on: every line
+// is a well-formed comment or sample, metric and label names match the
+// Prometheus grammar, each family is declared (# TYPE) before its samples and
+// appears exactly once, and every value parses as a float. Any violation
+// fails the whole document with the offending line number — the point is to
+// gate exporter changes in tests, not to salvage partial scrapes.
+func Parse(data []byte) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	var current *Family
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, help, err := splitMeta(strings.TrimPrefix(line, "# HELP "))
+			if err != nil {
+				return nil, fmt.Errorf("promexp: line %d: %v", lineNo, err)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("promexp: line %d: family %s re-declared", lineNo, name)
+			}
+			current = &Family{Name: name, Help: unescapeHelp(help)}
+			families[name] = current
+		case strings.HasPrefix(line, "# TYPE "):
+			name, typ, err := splitMeta(strings.TrimPrefix(line, "# TYPE "))
+			if err != nil {
+				return nil, fmt.Errorf("promexp: line %d: %v", lineNo, err)
+			}
+			if typ != TypeCounter && typ != TypeGauge &&
+				typ != "histogram" && typ != "summary" && typ != "untyped" {
+				return nil, fmt.Errorf("promexp: line %d: unknown type %q", lineNo, typ)
+			}
+			f := families[name]
+			if f == nil {
+				f = &Family{Name: name}
+				families[name] = f
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("promexp: line %d: family %s type re-declared", lineNo, name)
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("promexp: line %d: family %s typed after its samples", lineNo, name)
+			}
+			f.Type = typ
+			current = f
+		case strings.HasPrefix(line, "#"):
+			// Plain comment: legal, ignored.
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("promexp: line %d: %v", lineNo, err)
+			}
+			f := families[s.Name]
+			if f == nil || f.Type == "" {
+				return nil, fmt.Errorf("promexp: line %d: sample for undeclared family %s", lineNo, s.Name)
+			}
+			if current == nil || current.Name != s.Name {
+				return nil, fmt.Errorf("promexp: line %d: family %s samples are not contiguous", lineNo, s.Name)
+			}
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	for name, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("promexp: family %s has HELP but no TYPE", name)
+		}
+	}
+	return families, nil
+}
+
+// splitMeta splits a "# HELP name text" / "# TYPE name type" remainder into
+// its name and payload, validating the name.
+func splitMeta(rest string) (name, payload string, err error) {
+	name, payload, ok := strings.Cut(rest, " ")
+	if !ok || payload == "" {
+		return "", "", fmt.Errorf("malformed metadata comment %q", rest)
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, payload, nil
+}
+
+// parseSample parses one `name{k="v",...} value` line.
+func parseSample(line string) (Sample, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	s := Sample{Name: line[:nameEnd]}
+	if !validMetricName(s.Name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest[1:])
+		if err != nil {
+			return Sample{}, fmt.Errorf("sample %s: %v", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// The format allows an optional trailing timestamp; the value is the
+	// first field.
+	value, _, _ := strings.Cut(rest, " ")
+	v, err := parseValue(value)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %s: bad value %q", s.Name, value)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a label body up to and including the closing brace,
+// returning the label map and the remainder of the line.
+func parseLabels(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", rest)
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		value, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %v", name, err)
+		}
+		labels[name] = value
+		rest = tail
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string starting at
+// rest[0] == '"', returning the unescaped value and the remainder.
+func parseQuoted(rest string) (string, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch rest[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", rest[i])
+			}
+		case '"':
+			return sb.String(), rest[i+1:], nil
+		default:
+			sb.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// parseValue parses a sample value, accepting the IEEE specials.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// unescapeHelp reverses escapeHelp. A left-to-right scan, not ReplaceAll:
+// the escaped form of a literal `\n` is `\\n`, which naive replacement would
+// corrupt into backslash + newline.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				sb.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}

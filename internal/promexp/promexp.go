@@ -1,0 +1,189 @@
+// Package promexp is a zero-dependency encoder (and validating decoder) for
+// the Prometheus text exposition format, version 0.0.4. The cloud service's
+// operational counters started life as an ad-hoc JSON blob; a fleet-scale
+// deployment needs them scrapable by standard dashboards, and pulling the
+// official client library in would break the module's stdlib-only rule. The
+// format itself is small — `# HELP`/`# TYPE` comment headers followed by
+// `name{label="value"} 1.5` sample lines — so the package implements exactly
+// the subset the service emits: counters and gauges, optionally labeled.
+//
+// The decoder (Parse) exists for tests: every exporter change is gated by a
+// round-trip through it, so a malformed line can never reach a real scraper,
+// and metric renames show up as deliberate test edits rather than silent
+// dashboard breakage.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Metric types of the exposition format subset this package emits.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Writer renders metric families. Samples of the same family must be emitted
+// consecutively; the first sample of a family writes its # HELP and # TYPE
+// headers. Errors — from the underlying io.Writer or from invalid names —
+// stick: the first one is retained and every later call is a no-op, so
+// callers check Err once at the end.
+type Writer struct {
+	w   io.Writer
+	err error
+	// seen maps family name → type, catching two classes of programmer
+	// error: re-opening a family after another one started (the format
+	// requires family samples to be contiguous) and re-declaring a family
+	// under a different type.
+	seen map[string]string
+	last string
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]string)}
+}
+
+// Err returns the first error any write encountered, nil when the whole
+// exposition rendered cleanly.
+func (w *Writer) Err() error { return w.err }
+
+// Counter emits one sample of a counter family. labels are alternating
+// name/value pairs.
+func (w *Writer) Counter(name, help string, value float64, labels ...string) {
+	w.sample(TypeCounter, name, help, value, labels)
+}
+
+// Gauge emits one sample of a gauge family. labels are alternating
+// name/value pairs.
+func (w *Writer) Gauge(name, help string, value float64, labels ...string) {
+	w.sample(TypeGauge, name, help, value, labels)
+}
+
+func (w *Writer) sample(typ, name, help string, value float64, labels []string) {
+	if w.err != nil {
+		return
+	}
+	if !validMetricName(name) {
+		w.err = fmt.Errorf("promexp: invalid metric name %q", name)
+		return
+	}
+	if len(labels)%2 != 0 {
+		w.err = fmt.Errorf("promexp: metric %s: odd label list (want name/value pairs)", name)
+		return
+	}
+	if prev, ok := w.seen[name]; ok {
+		if prev != typ {
+			w.err = fmt.Errorf("promexp: metric %s redeclared as %s (was %s)", name, typ, prev)
+			return
+		}
+		if w.last != name {
+			w.err = fmt.Errorf("promexp: metric %s: samples must be contiguous", name)
+			return
+		}
+	} else {
+		w.seen[name] = typ
+		w.last = name
+		w.printf("# HELP %s %s\n", name, escapeHelp(help))
+		w.printf("# TYPE %s %s\n", name, typ)
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if !validLabelName(labels[i]) {
+				w.err = fmt.Errorf("promexp: metric %s: invalid label name %q", name, labels[i])
+				return
+			}
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(labels[i])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue(labels[i+1]))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	w.printf("%s %s\n", sb.String(), formatValue(value))
+}
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// formatValue renders a sample value the way Prometheus parsers expect:
+// shortest round-trippable decimal, with the special IEEE values spelled
+// +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case v > 1.7976931348623157e308: // +Inf
+		return "+Inf"
+	case v < -1.7976931348623157e308: // -Inf
+		return "-Inf"
+	case v != v: // NaN
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote, newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

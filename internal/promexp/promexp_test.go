@@ -1,0 +1,148 @@
+package promexp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriterRendersAndParsesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Counter("medsen_uploads_total", "Total accepted uploads.", 42)
+	w.Gauge("medsen_queue_depth", "Jobs waiting for a worker.", 3)
+	w.Gauge("medsen_breaker_state", "One-hot breaker state.", 1, "state", "closed")
+	w.Gauge("medsen_breaker_state", "One-hot breaker state.", 0, "state", "open")
+	if err := w.Err(); err != nil {
+		t.Fatalf("Writer error: %v", err)
+	}
+	fams, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	up := fams["medsen_uploads_total"]
+	if up == nil || up.Type != TypeCounter || len(up.Samples) != 1 || up.Samples[0].Value != 42 {
+		t.Fatalf("uploads family = %+v", up)
+	}
+	if up.Help != "Total accepted uploads." {
+		t.Fatalf("help = %q", up.Help)
+	}
+	br := fams["medsen_breaker_state"]
+	if br == nil || len(br.Samples) != 2 {
+		t.Fatalf("breaker family = %+v", br)
+	}
+	if br.Samples[0].Labels["state"] != "closed" || br.Samples[0].Value != 1 {
+		t.Fatalf("breaker sample 0 = %+v", br.Samples[0])
+	}
+}
+
+func TestWriterEscapesLabelValuesAndHelp(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	help := "line one\nback\\slash"
+	value := `quo"te` + "\nand\\slash"
+	w.Gauge("tricky_metric", help, 7, "detail", value)
+	if err := w.Err(); err != nil {
+		t.Fatalf("Writer error: %v", err)
+	}
+	fams, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	f := fams["tricky_metric"]
+	if f.Help != help {
+		t.Fatalf("help round-trip: %q != %q", f.Help, help)
+	}
+	if got := f.Samples[0].Labels["detail"]; got != value {
+		t.Fatalf("label round-trip: %q != %q", got, value)
+	}
+}
+
+func TestWriterRejectsInvalidNames(t *testing.T) {
+	cases := []func(w *Writer){
+		func(w *Writer) { w.Counter("9starts_with_digit", "h", 1) },
+		func(w *Writer) { w.Counter("has-dash", "h", 1) },
+		func(w *Writer) { w.Counter("", "h", 1) },
+		func(w *Writer) { w.Gauge("ok_name", "h", 1, "bad-label", "v") },
+		func(w *Writer) { w.Gauge("ok_name", "h", 1, "odd_labels") },
+	}
+	for i, emit := range cases {
+		w := NewWriter(&bytes.Buffer{})
+		emit(w)
+		if w.Err() == nil {
+			t.Fatalf("case %d: invalid emission accepted", i)
+		}
+	}
+}
+
+func TestWriterRejectsTypeConflictAndInterleaving(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Counter("metric_a_total", "h", 1)
+	w.Gauge("metric_a_total", "h", 2)
+	if w.Err() == nil {
+		t.Fatal("type conflict accepted")
+	}
+
+	w = NewWriter(&bytes.Buffer{})
+	w.Gauge("metric_a", "h", 1, "x", "1")
+	w.Gauge("metric_b", "h", 1)
+	w.Gauge("metric_a", "h", 2, "x", "2")
+	if w.Err() == nil {
+		t.Fatal("interleaved family samples accepted")
+	}
+}
+
+func TestWriterSpecialValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Gauge("inf_gauge", "h", math.Inf(1))
+	w.Gauge("neg_inf_gauge", "h", math.Inf(-1))
+	if err := w.Err(); err != nil {
+		t.Fatalf("Writer error: %v", err)
+	}
+	if !strings.Contains(buf.String(), "inf_gauge +Inf") {
+		t.Fatalf("missing +Inf rendering:\n%s", buf.String())
+	}
+	fams, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !math.IsInf(fams["inf_gauge"].Samples[0].Value, 1) {
+		t.Fatal("+Inf did not round-trip")
+	}
+	if !math.IsInf(fams["neg_inf_gauge"].Samples[0].Value, -1) {
+		t.Fatal("-Inf did not round-trip")
+	}
+}
+
+func TestParseRejectsMalformedDocuments(t *testing.T) {
+	cases := map[string]string{
+		"sample without type":  "loose_metric 1\n",
+		"help without type":    "# HELP floating_metric h\n",
+		"garbage line":         "# TYPE ok_metric gauge\nok_metric 1\n!!!\n",
+		"bad value":            "# TYPE ok_metric gauge\nok_metric one\n",
+		"unterminated labels":  "# TYPE ok_metric gauge\nok_metric{a=\"v\" 1\n",
+		"unquoted label value": "# TYPE ok_metric gauge\nok_metric{a=v} 1\n",
+		"duplicate label":      "# TYPE ok_metric gauge\nok_metric{a=\"1\",a=\"2\"} 1\n",
+		"unknown type":         "# TYPE ok_metric flimflam\nok_metric 1\n",
+		"re-declared family":   "# HELP m h\n# TYPE m gauge\nm 1\n# HELP m h\n",
+		"type after samples":   "# HELP m h\n# TYPE m gauge\nm 1\n# TYPE n gauge\nn 1\n# TYPE m counter\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseAcceptsTimestampsAndComments(t *testing.T) {
+	doc := "# scraped by loadgen\n# TYPE m gauge\nm{l=\"v\"} 2.5 1700000000\n"
+	fams, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if fams["m"].Samples[0].Value != 2.5 {
+		t.Fatalf("value = %v", fams["m"].Samples[0].Value)
+	}
+}
