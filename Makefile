@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json worker-chaos-soak worker-loadgen-smoke fuzz vet fmt experiments clean
 
 all: build test
 
@@ -41,6 +41,18 @@ loadgen-smoke:
 # Refresh the committed fleet SLO baseline (run on a quiet machine).
 loadgen-json:
 	$(GO) run ./cmd/medsen-loadgen -self-host -devices 100 -captures 2 -dedup 0.1 -json LOADGEN_7.json
+
+# Distributed-topology chaos gate: workers killed/stalled mid-job across
+# three seeds; zero capture loss, exactly one analysis per capture.
+worker-chaos-soak:
+	$(GO) test -race -run TestWorkerChaosSoak -count=1 ./internal/faultinject
+
+# Fleet smoke in the distributed topology: frontend in lease mode plus
+# pull-mode workers, with the Prometheus report round-tripped through the
+# strict exposition parser.
+worker-loadgen-smoke:
+	$(GO) run ./cmd/medsen-loadgen -self-host -self-host-workers 2 -async \
+		-devices 8 -captures 1 -capture-duration 2 -prom LOADGEN_WORKER.prom
 
 # Short fuzz passes over every wire-format parser.
 fuzz:

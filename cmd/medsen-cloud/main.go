@@ -27,11 +27,29 @@
 // scraper gets the text exposition format via ?format=prometheus or its
 // Accept header. Drive the service at fleet scale with medsen-loadgen.
 //
+// The execution topology is chosen with -role:
+//
+//	-role=all       (default) one process does everything: the HTTP frontend
+//	                plus the in-process analysis worker pool.
+//	-role=frontend  HTTP only; async jobs wait for external worker daemons
+//	                to lease them over the internal workqueue API. Leases are
+//	                bounded by -lease-ttl and attempts by -max-attempts; the
+//	                built-in reaper reclaims expired leases and quarantines
+//	                poison jobs.
+//	-role=worker    no HTTP listener; the process pulls jobs from the
+//	                frontend at -frontend-url (heartbeating every
+//	                -heartbeat-interval) and posts results back. Equivalent
+//	                to cmd/medsen-worker.
+//
 // Usage:
 //
-//	medsen-cloud [-addr :8077] [-workers N] [-queue-depth N] [-state-dir DIR]
+//	medsen-cloud [-role all|frontend|worker] [-addr :8077] [-workers N]
+//	             [-queue-depth N] [-state-dir DIR]
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
 //	             [-job-timeout D] [-rate-limit N] [-rate-burst N] [-max-queue-wait D]
+//	             [-lease-ttl D] [-max-attempts N]
+//	             [-frontend-url URL] [-worker-id ID] [-worker-concurrency N]
+//	             [-heartbeat-interval D] [-poll-interval D] [-api-key SECRET]
 //	             [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 //	             [-pprof-addr 127.0.0.1:6060] [-auth] [-bootstrap-admin-key SECRET]
 package main
@@ -78,7 +96,32 @@ func run() int {
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; a bare :port binds loopback only)")
 	authOn := flag.Bool("auth", false, "require Authorization: Bearer API keys on every /api/v1 request and record the hash-chained audit trail")
 	bootstrapAdminKey := flag.String("bootstrap-admin-key", "", "with -auth: install this secret as an admin API key at startup (idempotent), so further keys can be issued over the API")
+	role := flag.String("role", "all", "process role: all (frontend + in-process workers), frontend (HTTP only; external workers pull jobs), worker (no HTTP; pull jobs from -frontend-url)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease duration before the reaper reclaims an un-heartbeated job (0 = default 30s)")
+	maxAttempts := flag.Int("max-attempts", 0, "per-job attempt budget before quarantine as poisoned (0 = default 5, negative = unbounded)")
+	frontendURL := flag.String("frontend-url", "http://127.0.0.1:8077", "with -role=worker: base URL of the frontend to pull jobs from")
+	workerID := flag.String("worker-id", "", "with -role=worker: stable worker identity on the lease API (default host-pid derived)")
+	workerConcurrency := flag.Int("worker-concurrency", 0, "with -role=worker: jobs run at once (0 = 1)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "with -role=worker: lease renewal period (0 = a third of the granted TTL)")
+	pollInterval := flag.Duration("poll-interval", 0, "with -role=worker: idle back-off between empty acquire polls (0 = 500ms)")
+	apiKey := flag.String("api-key", "", "with -role=worker: worker-role Authorization: Bearer credential for the frontend")
 	flag.Parse()
+
+	switch *role {
+	case "all", "frontend":
+	case "worker":
+		return runWorkerRole(workerRoleConfig{
+			frontendURL: *frontendURL,
+			workerID:    *workerID,
+			concurrency: *workerConcurrency,
+			heartbeat:   *heartbeatInterval,
+			poll:        *pollInterval,
+			apiKey:      *apiKey,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "medsen-cloud: unknown -role %q (want all, frontend or worker)\n", *role)
+		return 1
+	}
 
 	if *pprofAddr != "" {
 		// The profiler exposes heap contents and must never share the public
@@ -158,6 +201,9 @@ func run() int {
 		MaxQueueWait:    *maxQueueWait,
 		Keystore:        keystore,
 		Audit:           auditLog,
+		ExternalWorkers: *role == "frontend",
+		LeaseTTL:        *leaseTTL,
+		MaxAttempts:     *maxAttempts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"medsen/internal/cloud"
+	"medsen/internal/workqueue"
+)
+
+// workerRoleConfig carries the -role=worker flags.
+type workerRoleConfig struct {
+	frontendURL string
+	workerID    string
+	concurrency int
+	heartbeat   time.Duration
+	poll        time.Duration
+	apiKey      string
+}
+
+// defaultWorkerID derives a fleet-unique worker identity when none is given.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// runWorkerRole runs the pull-mode worker daemon until SIGINT/SIGTERM.
+func runWorkerRole(cfg workerRoleConfig) int {
+	if cfg.workerID == "" {
+		cfg.workerID = defaultWorkerID()
+	}
+	w, err := workqueue.New(workqueue.Config{
+		Client:            &cloud.Client{BaseURL: cfg.frontendURL, APIKey: cfg.apiKey},
+		ID:                cfg.workerID,
+		Concurrency:       cfg.concurrency,
+		PollInterval:      cfg.poll,
+		HeartbeatInterval: cfg.heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-cloud: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("medsen-cloud: worker %s pulling jobs from %s", cfg.workerID, cfg.frontendURL)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "medsen-cloud: worker: %v\n", err)
+		return 1
+	}
+	log.Printf("medsen-cloud: worker %s stopped", cfg.workerID)
+	return 0
+}

@@ -7,20 +7,27 @@
 //
 // Point it at a running medsen-cloud with -url, or pass -self-host to spin
 // an in-process service on a loopback port (handy for CI smoke runs and for
-// reproducing overload behaviour without a deployment). The run is fully
-// deterministic in -seed: capture bytes, dedup draws, and the optional
-// fault schedule all derive from it.
+// reproducing overload behaviour without a deployment). -self-host-workers=N
+// additionally puts the hosted service in frontend mode (no in-process
+// analysis pool) and runs N lease-pulling worker daemons against it — the
+// distributed topology of `medsen-cloud -role=frontend` plus N
+// `medsen-worker` processes, collapsed into one binary for smoke runs; it
+// requires -async, since synchronous uploads never touch the work queue. The
+// run is fully deterministic in -seed: capture bytes, dedup draws, and the
+// optional fault schedule all derive from it.
 //
 // -json writes the machine-readable result document (the same numbers the
 // benchmark harness publishes next to BENCH_*.json); -prom writes the run
-// report in the Prometheus text format.
+// report in the Prometheus text format and re-reads it through the strict
+// exposition parser, so a malformed family fails the run.
 //
 // Usage:
 //
 //	medsen-loadgen [-url http://host:8077 | -self-host] [-devices K] [-captures N]
 //	               [-seed S] [-shared] [-dedup F] [-async] [-capture-duration S]
 //	               [-api-key KEY] [-retries N] [-faults] [-rate-limit N]
-//	               [-queue-depth N] [-max-queue-wait D] [-json FILE] [-prom FILE] [-v]
+//	               [-queue-depth N] [-max-queue-wait D] [-self-host-workers N]
+//	               [-json FILE] [-prom FILE] [-v]
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -40,6 +48,8 @@ import (
 	"medsen/internal/faultinject"
 	"medsen/internal/loadgen"
 	"medsen/internal/phone"
+	"medsen/internal/promexp"
+	"medsen/internal/workqueue"
 )
 
 func main() {
@@ -62,6 +72,7 @@ func run() int {
 	rateLimit := flag.Float64("rate-limit", 0, "with -self-host: per-client rate limit of the hosted service")
 	queueDepth := flag.Int("queue-depth", 0, "with -self-host: job queue depth of the hosted service")
 	maxQueueWait := flag.Duration("max-queue-wait", 0, "with -self-host: adaptive shedding bound of the hosted service")
+	selfHostWorkers := flag.Int("self-host-workers", 0, "with -self-host: run the service in frontend mode and this many lease-pulling workers against it (requires -async)")
 	jsonOut := flag.String("json", "", "write the machine-readable result document to this file")
 	promOut := flag.String("prom", "", "write the run report in the Prometheus text format to this file")
 	verbose := flag.Bool("v", false, "log run progress")
@@ -71,6 +82,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "medsen-loadgen: pass exactly one of -url or -self-host")
 		return 2
 	}
+	if *selfHostWorkers > 0 && !*selfHost {
+		fmt.Fprintln(os.Stderr, "medsen-loadgen: -self-host-workers requires -self-host")
+		return 2
+	}
+	if *selfHostWorkers > 0 && !*asyncMode {
+		// Synchronous uploads analyze inline in the HTTP handler; only the
+		// job API routes through the lease queue the workers pull from.
+		fmt.Fprintln(os.Stderr, "medsen-loadgen: -self-host-workers requires -async")
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,9 +99,10 @@ func run() int {
 	base := *url
 	if *selfHost {
 		svc, err := cloud.NewService(cloud.ServiceConfig{
-			RateLimit:    *rateLimit,
-			QueueDepth:   *queueDepth,
-			MaxQueueWait: *maxQueueWait,
+			RateLimit:       *rateLimit,
+			QueueDepth:      *queueDepth,
+			MaxQueueWait:    *maxQueueWait,
+			ExternalWorkers: *selfHostWorkers > 0,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "medsen-loadgen: self-host service: %v\n", err)
@@ -97,6 +119,32 @@ func run() int {
 		defer server.Close()
 		base = "http://" + ln.Addr().String()
 		log.Printf("medsen-loadgen: self-hosting analysis service on %s", base)
+
+		if *selfHostWorkers > 0 {
+			workerCtx, stopWorkers := context.WithCancel(ctx)
+			var workerWG sync.WaitGroup
+			for i := 0; i < *selfHostWorkers; i++ {
+				w, err := workqueue.New(workqueue.Config{
+					Client: &cloud.Client{BaseURL: base, APIKey: *apiKey},
+					ID:     fmt.Sprintf("loadgen-worker-%d", i),
+				})
+				if err != nil {
+					stopWorkers()
+					fmt.Fprintf(os.Stderr, "medsen-loadgen: worker: %v\n", err)
+					return 1
+				}
+				workerWG.Add(1)
+				go func() {
+					defer workerWG.Done()
+					if err := w.Run(workerCtx); err != nil {
+						log.Printf("medsen-loadgen: worker stopped: %v", err)
+					}
+				}()
+			}
+			defer workerWG.Wait()
+			defer stopWorkers()
+			log.Printf("medsen-loadgen: frontend mode, %d lease-pulling workers attached", *selfHostWorkers)
+		}
 	}
 
 	cfg := loadgen.Config{
@@ -154,7 +202,18 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "medsen-loadgen: writing %s: %v\n", *promOut, werr)
 			return 1
 		}
-		log.Printf("medsen-loadgen: Prometheus report written to %s", *promOut)
+		// Round-trip through the strict exposition parser: the published
+		// report must be scrapeable, not just written.
+		data, err := os.ReadFile(*promOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-loadgen: re-reading %s: %v\n", *promOut, err)
+			return 1
+		}
+		if _, err := promexp.Parse(data); err != nil {
+			fmt.Fprintf(os.Stderr, "medsen-loadgen: %s is not valid exposition text: %v\n", *promOut, err)
+			return 1
+		}
+		log.Printf("medsen-loadgen: Prometheus report written to %s and round-tripped through the parser", *promOut)
 	}
 
 	// Capture loss is the one number that is never acceptable: a non-zero

@@ -1,0 +1,50 @@
+// Command medsen-worker is a standalone analysis worker daemon: the pull
+// side of the frontend's lease-based work queue. It acquires journaled jobs
+// from a medsen-cloud frontend over the internal workqueue API, runs the DSP
+// pipeline on each leased capture under a heartbeat-renewed lease, and posts
+// the report back. Workers are stateless — kill one mid-job and the
+// frontend's reaper reclaims the lease for another worker.
+//
+// Usage:
+//
+//	medsen-worker -url=http://frontend:8077 -api-key=KEY -concurrency=4
+//
+// Equivalent to `medsen-cloud -role=worker` with the same flags; this binary
+// exists so worker fleets can ship without the frontend's serving code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("medsen-worker", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8077", "frontend base URL to pull jobs from")
+	apiKey := fs.String("api-key", "", "worker-role API key (required when the frontend enforces auth)")
+	id := fs.String("id", "", "worker identity on the lease API (default hostname-pid)")
+	concurrency := fs.Int("concurrency", 1, "jobs run at once")
+	poll := fs.Duration("poll-interval", 500*time.Millisecond, "idle back-off between empty acquire polls")
+	heartbeat := fs.Duration("heartbeat-interval", 0, "lease renewal cadence (0 = a third of the granted TTL)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "medsen-worker: %v\n", err)
+		return 2
+	}
+	return runWorker(workerConfig{
+		frontendURL: *url,
+		workerID:    *id,
+		concurrency: *concurrency,
+		heartbeat:   *heartbeat,
+		poll:        *poll,
+		apiKey:      *apiKey,
+	})
+}

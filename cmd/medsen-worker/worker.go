@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"medsen/internal/cloud"
+	"medsen/internal/workqueue"
+)
+
+// workerConfig carries the parsed flags.
+type workerConfig struct {
+	frontendURL string
+	workerID    string
+	concurrency int
+	heartbeat   time.Duration
+	poll        time.Duration
+	apiKey      string
+}
+
+// runWorker runs the daemon until SIGINT/SIGTERM.
+func runWorker(cfg workerConfig) int {
+	if cfg.workerID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		cfg.workerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := workqueue.New(workqueue.Config{
+		Client:            &cloud.Client{BaseURL: cfg.frontendURL, APIKey: cfg.apiKey},
+		ID:                cfg.workerID,
+		Concurrency:       cfg.concurrency,
+		PollInterval:      cfg.poll,
+		HeartbeatInterval: cfg.heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medsen-worker: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("medsen-worker: %s pulling jobs from %s", cfg.workerID, cfg.frontendURL)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "medsen-worker: %v\n", err)
+		return 1
+	}
+	log.Printf("medsen-worker: %s stopped", cfg.workerID)
+	return 0
+}

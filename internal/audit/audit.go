@@ -117,6 +117,11 @@ type Log struct {
 
 	mu      sync.RWMutex
 	records []Record
+	// appendErr is the last Append failure, cleared by the next success.
+	// Probe reports it so readiness turns red the moment the trail stops
+	// accepting records, instead of waiting for the next authenticated
+	// request to fail.
+	appendErr error
 }
 
 // Open loads and verifies the chain at path (creating the file if absent)
@@ -185,11 +190,41 @@ func (l *Log) Append(r Record) (Record, error) {
 			return Record{}, fmt.Errorf("audit: encoding record: %w", err)
 		}
 		if _, err := l.file.Write(append(data, '\n')); err != nil {
+			l.appendErr = err
 			return Record{}, fmt.Errorf("audit: appending record: %w", err)
 		}
 	}
+	l.appendErr = nil
 	l.records = append(l.records, r)
 	return r, nil
+}
+
+// Probe reports whether the chain can still take appends: the sticky error
+// from the last failed Append when one is outstanding, else a write-and-remove
+// probe of a temp file beside the chain file — which catches a disk gone full
+// or read-only before any record is lost to it. A memory-only log always
+// probes clean. Readiness endpoints call this so a service whose audit trail
+// has stopped recording is pulled from rotation instead of serving
+// authenticated requests it cannot account for.
+func (l *Log) Probe() error {
+	l.mu.RLock()
+	appendErr, file, path := l.appendErr, l.file, l.path
+	l.mu.RUnlock()
+	if appendErr != nil {
+		return fmt.Errorf("audit: last append failed: %w", appendErr)
+	}
+	if file == nil {
+		return nil
+	}
+	probe := path + ".probe.tmp"
+	if err := os.WriteFile(probe, []byte("ok"), 0o600); err != nil {
+		return fmt.Errorf("audit: probe write: %w", err)
+	}
+	// Concurrent probes share the file; losing the removal race is fine.
+	if err := os.Remove(probe); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("audit: probe cleanup: %w", err)
+	}
+	return nil
 }
 
 // Len returns the number of records in the chain.

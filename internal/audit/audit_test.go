@@ -273,3 +273,79 @@ func TestRecordWireShape(t *testing.T) {
 		}
 	}
 }
+
+// TestProbeAppendability pins the readiness probe contract: clean on a
+// healthy chain (and always on a memory-only log), red the moment the
+// chain's volume stops taking writes, and sticky-red after a failed Append
+// until a later append succeeds.
+func TestProbeAppendability(t *testing.T) {
+	mem, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Probe(); err != nil {
+		t.Fatalf("memory-only probe: %v", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "trail")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(filepath.Join(dir, "audit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Actor: "a", Action: "probe.test"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatalf("healthy probe: %v", err)
+	}
+
+	// The volume disappears under the chain (unmounted, dead disk): the
+	// probe's temp write beside the file fails even though no record has
+	// been lost yet. (The open fd still accepts writes to the unlinked
+	// inode, so Append alone would not notice — exactly why Probe exists.)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Probe(); err == nil {
+		t.Fatal("probe stayed green with the chain directory gone")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatalf("probe after the volume returned: %v", err)
+	}
+
+	// An actual failed append latches: the fd dies (closed out from under
+	// the log — an I/O error at the descriptor), the record is not
+	// committed in memory, and Probe reports the sticky error without
+	// touching the disk again.
+	l.file.Close()
+	n := l.Len()
+	if _, err := l.Append(Record{Actor: "a", Action: "probe.fail"}); err == nil {
+		t.Fatal("append succeeded on a dead descriptor")
+	}
+	if l.Len() != n {
+		t.Fatalf("failed append changed Len: %d -> %d", n, l.Len())
+	}
+	if err := l.Probe(); err == nil {
+		t.Fatal("probe stayed green after a failed append")
+	}
+
+	// The descriptor comes back (a reopened chain file) and an append
+	// lands: the sticky error clears and the probe goes green again.
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.file = f
+	if _, err := l.Append(Record{Actor: "a", Action: "probe.recover"}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+}

@@ -35,20 +35,25 @@ import (
 // Role is a key's access level.
 type Role string
 
-// The three deployment roles. See the package comment for their rights.
+// The deployment roles. See the package comment for their rights. RoleWorker
+// is the service-to-service credential of an analysis worker daemon: it may
+// acquire, heartbeat, and complete jobs over the internal workqueue API and
+// nothing else — a compromised worker box cannot browse patient records or
+// touch the control plane.
 const (
 	RoleOwner  Role = "owner"
 	RoleClinic Role = "clinic"
 	RoleAdmin  Role = "admin"
+	RoleWorker Role = "worker"
 )
 
 // ParseRole validates a wire role string.
 func ParseRole(s string) (Role, error) {
 	switch r := Role(s); r {
-	case RoleOwner, RoleClinic, RoleAdmin:
+	case RoleOwner, RoleClinic, RoleAdmin, RoleWorker:
 		return r, nil
 	}
-	return "", fmt.Errorf("auth: unknown role %q (want owner, clinic or admin)", s)
+	return "", fmt.Errorf("auth: unknown role %q (want owner, clinic, admin or worker)", s)
 }
 
 // Principal is an authenticated caller: the key that signed in and the
@@ -114,6 +119,9 @@ const (
 	ObjectAPIKey ObjectType = "api_key"
 	// ObjectAudit is the audit-trail resource (control plane).
 	ObjectAudit ObjectType = "audit"
+	// ObjectWorkqueue is the internal job-lease API worker daemons pull
+	// analysis work from (acquire/heartbeat/complete/fail).
+	ObjectWorkqueue ObjectType = "workqueue"
 )
 
 // Object is the thing a request touches: its type plus the owner principal
@@ -137,9 +145,11 @@ var ErrPermissionDenied = errors.New("auth: permission denied")
 //
 //	admin   everything.
 //	clinic  everything on medical objects (analysis, job, user); nothing
-//	        on the control plane (api_key, audit).
+//	        on the control plane (api_key, audit) or the workqueue.
 //	owner   create analyses/jobs; read or update an analysis, job, or user
 //	        listing only when the object's owner equals the key's subject.
+//	worker  the workqueue only: lease, heartbeat, and complete analysis
+//	        jobs over the internal pull API; nothing else.
 func Authorize(p Principal, a Action, o Object) error {
 	if p.anonymous || p.Role == RoleAdmin {
 		return nil
@@ -148,6 +158,10 @@ func Authorize(p Principal, a Action, o Object) error {
 	case RoleClinic:
 		switch o.Type {
 		case ObjectAnalysis, ObjectJob, ObjectUser:
+			return nil
+		}
+	case RoleWorker:
+		if o.Type == ObjectWorkqueue {
 			return nil
 		}
 	case RoleOwner:

@@ -381,7 +381,7 @@ func (c *Client) SubmitAndPollKeyed(ctx context.Context, payload []byte, interva
 		lastGoodPoll = time.Now()
 		job = j
 	}
-	if job.Status == JobFailed {
+	if job.Status == JobFailed || job.Status == JobPoisoned {
 		return SubmitResponse{}, fmt.Errorf("cloud: job %s: %w",
 			job.ID, &APIError{Code: job.ErrorCode, Message: job.Error})
 	}

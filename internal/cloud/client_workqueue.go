@@ -1,0 +1,72 @@
+package cloud
+
+// Client bindings for the internal workqueue API (workqueue.go) — the
+// surface worker daemons (internal/workqueue) drive. These are service-to-
+// service calls authenticated by RoleWorker keys; devices and patients never
+// touch them.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// AcquireJob asks the frontend for the next queued analysis job, leasing it
+// to workerID when one is available. A Granted=false response with no error
+// means the queue is empty (or the frontend is draining); the worker polls
+// again later. Not retried by the client policy: the worker's poll loop is
+// its own retry.
+func (c *Client) AcquireJob(ctx context.Context, workerID string) (LeaseGrant, error) {
+	body, err := json.Marshal(AcquireRequest{WorkerID: workerID})
+	if err != nil {
+		return LeaseGrant{}, fmt.Errorf("cloud: encoding acquire request: %w", err)
+	}
+	var grant LeaseGrant
+	err = c.do(ctx, http.MethodPost, "/api/v1/workqueue/acquire", body, "application/json", "", &grant, nil)
+	return grant, err
+}
+
+// HeartbeatJob renews workerID's lease on the job, returning the new expiry.
+// An error matching ErrLeaseLost means the lease is gone — the worker must
+// abandon the job; its result belongs to whoever holds the lease now.
+func (c *Client) HeartbeatJob(ctx context.Context, jobID, workerID string) (HeartbeatResponse, error) {
+	body, err := json.Marshal(HeartbeatRequest{WorkerID: workerID})
+	if err != nil {
+		return HeartbeatResponse{}, fmt.Errorf("cloud: encoding heartbeat: %w", err)
+	}
+	var resp HeartbeatResponse
+	err = c.do(ctx, http.MethodPost, "/api/v1/workqueue/jobs/"+jobID+"/heartbeat",
+		body, "application/json", "", &resp, nil)
+	return resp, err
+}
+
+// CompleteJob posts the finished report for workerID's leased job and
+// returns the stored analysis id. The call rides the client retry policy
+// (keyed by the job id — completing is idempotent server-side: a retry of a
+// torn response gets the already-stored analysis id back), so a lost
+// response does not strand a finished analysis.
+func (c *Client) CompleteJob(ctx context.Context, jobID, workerID string, report Report) (CompleteResponse, error) {
+	body, err := json.Marshal(CompleteRequest{WorkerID: workerID, Report: report})
+	if err != nil {
+		return CompleteResponse{}, fmt.Errorf("cloud: encoding completion: %w", err)
+	}
+	var resp CompleteResponse
+	err = c.do(ctx, http.MethodPost, "/api/v1/workqueue/jobs/"+jobID+"/complete",
+		body, "application/json", "wq-complete:"+jobID, &resp, nil)
+	return resp, err
+}
+
+// FailJob reports a failed attempt under the envelope code vocabulary and
+// returns the job's updated record — re-queued within the attempt budget,
+// poisoned past it.
+func (c *Client) FailJob(ctx context.Context, jobID, workerID, code, message string) (Job, error) {
+	body, err := json.Marshal(FailRequest{WorkerID: workerID, Code: code, Message: message})
+	if err != nil {
+		return Job{}, fmt.Errorf("cloud: encoding failure report: %w", err)
+	}
+	var job Job
+	err = c.do(ctx, http.MethodPost, "/api/v1/workqueue/jobs/"+jobID+"/fail",
+		body, "application/json", "", &job, nil)
+	return job, err
+}

@@ -108,7 +108,7 @@ func (s *Service) claimCaptureLocked(key string) (analysisID string, job Job, ou
 			s.metrics.DedupHits++
 			return "", Job{}, claimInFlight
 		case e.jobID != "":
-			if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed {
+			if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed && qj.Status != JobPoisoned {
 				s.metrics.DedupHits++
 				return "", qj.Job, claimJob
 			}
@@ -264,7 +264,7 @@ func (s *Service) loadDedup() error {
 			}
 		case e.jobID != "":
 			qj, live := s.jobs[e.jobID]
-			if !live || qj.Status == JobFailed {
+			if !live || qj.Status == JobFailed || qj.Status == JobPoisoned {
 				s.removeDedupFile(e.key)
 				continue
 			}

@@ -29,6 +29,8 @@ const (
 	CodeDuplicateInFlight = "duplicate_in_flight"
 	CodeUnauthenticated   = "unauthenticated"
 	CodePermissionDenied  = "permission_denied"
+	CodeLeaseLost         = "lease_lost"
+	CodePoisoned          = "poisoned"
 	CodeInternal          = "internal"
 )
 
@@ -72,6 +74,14 @@ var (
 	// ErrPermissionDenied is a request the authenticated key's role may not
 	// perform on the object it addressed (HTTP 403).
 	ErrPermissionDenied = errors.New("cloud: permission denied")
+	// ErrLeaseLost is a workqueue heartbeat/complete/fail for a lease the
+	// worker no longer holds — it expired and was reclaimed, or another
+	// worker re-acquired the job. The worker must abandon the job; the
+	// result (if any) is owned by whoever holds the lease now.
+	ErrLeaseLost = errors.New("cloud: job lease lost")
+	// ErrPoisoned is a job quarantined after exhausting its attempt budget:
+	// terminal, never retried, full attempt history in the job record.
+	ErrPoisoned = errors.New("cloud: job poisoned")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
@@ -91,6 +101,8 @@ var codeSentinels = map[string]error{
 	CodeDuplicateInFlight: ErrDuplicateInFlight,
 	CodeUnauthenticated:   ErrUnauthenticated,
 	CodePermissionDenied:  ErrPermissionDenied,
+	CodeLeaseLost:         ErrLeaseLost,
+	CodePoisoned:          ErrPoisoned,
 	CodeInternal:          ErrInternal,
 }
 

@@ -36,24 +36,29 @@ import (
 // JobStatus is the lifecycle state of an async analysis job.
 type JobStatus string
 
-// Job lifecycle: queued → running → done | failed.
+// Job lifecycle: queued → running (in-process worker) or leased (external
+// worker daemon) → done | failed | poisoned. A leased job whose lease expires
+// goes back to queued with its attempt counter bumped; one that exhausts the
+// attempt budget is quarantined as poisoned (workqueue.go).
 const (
-	JobQueued  JobStatus = "queued"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobLeased   JobStatus = "leased"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobPoisoned JobStatus = "poisoned"
 )
 
 // Terminal reports whether the status is final.
-func (s JobStatus) Terminal() bool { return s == JobDone || s == JobFailed }
+func (s JobStatus) Terminal() bool { return s == JobDone || s == JobFailed || s == JobPoisoned }
 
 // parseJobStatus validates a ?status= filter value.
 func parseJobStatus(v string) (JobStatus, error) {
 	switch st := JobStatus(v); st {
-	case JobQueued, JobRunning, JobDone, JobFailed:
+	case JobQueued, JobRunning, JobLeased, JobDone, JobFailed, JobPoisoned:
 		return st, nil
 	}
-	return "", fmt.Errorf("unknown job status %q", v)
+	return "", fmt.Errorf("unknown job status %q (want queued, running, leased, done, failed or poisoned)", v)
 }
 
 // Job is the wire representation of an async analysis job.
@@ -72,7 +77,42 @@ type Job struct {
 	// submitted anonymously or by a subject-less clinic/admin key); the
 	// stored analysis inherits it, and RBAC scopes owner-role reads to it.
 	Owner string `json:"owner,omitempty"`
+	// Attempts counts executions handed out for this job (lease grants plus
+	// in-process pickups). A job reclaimed or failed Attempts ≥ max-attempts
+	// times is quarantined as poisoned.
+	Attempts int `json:"attempts,omitempty"`
+	// WorkerID names the worker holding the current lease (leased jobs only).
+	WorkerID string `json:"worker_id,omitempty"`
+	// History is the full attempt trail — who ran the job, when, and how each
+	// attempt ended — kept on the record so a quarantined job carries its own
+	// post-mortem.
+	History []Attempt `json:"history,omitempty"`
 }
+
+// Attempt is one entry of a job's execution history.
+type Attempt struct {
+	// Worker identifies who ran the attempt (a worker daemon id, or
+	// "in-process" for the built-in pool).
+	Worker string `json:"worker"`
+	// StartedAtUnix is when the attempt was handed out.
+	StartedAtUnix int64 `json:"started_at_unix"`
+	// Outcome is how it ended: "completed", "failed", "reclaimed" (lease
+	// expired), or "quarantined".
+	Outcome string `json:"outcome"`
+	// Detail carries the failure message or reclaim reason.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Attempt outcomes.
+const (
+	attemptCompleted   = "completed"
+	attemptFailed      = "failed"
+	attemptReclaimed   = "reclaimed"
+	attemptQuarantined = "quarantined"
+)
+
+// workerInProcess is the attempt-history attribution of the built-in pool.
+const workerInProcess = "in-process"
 
 // queuedJob is the service-internal job record: the wire Job plus the
 // pending payload (released as soon as the worker picks it up) and the
@@ -88,6 +128,9 @@ type queuedJob struct {
 	// deadline — including the recovered-across-a-restart case — is
 	// measured from it.
 	startedAt time.Time
+	// leaseExpiry is when the current lease lapses (leased jobs only); the
+	// reaper reclaims the job once s.now() passes it. Heartbeats push it out.
+	leaseExpiry time.Time
 	// doneAt is when the job reached a terminal status; retention evicts
 	// terminal records doneAt+TTL after it.
 	doneAt time.Time
@@ -142,6 +185,7 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	s.jobWG.Wait()
+	s.stopReaper()
 }
 
 // Shutdown stops accepting submissions and waits for in-flight analyses to
@@ -158,6 +202,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		close(s.jobStop)
 	}
 	s.mu.Unlock()
+	s.stopReaper()
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()
@@ -196,7 +241,7 @@ func (s *Service) enqueueJob(payload []byte, key, owner string) (job Job, dedupe
 				return Job{}, true, false, errDuplicateInFlight
 			}
 			if e.jobID != "" {
-				if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed {
+				if qj, live := s.jobs[e.jobID]; live && qj.Status != JobFailed && qj.Status != JobPoisoned {
 					s.metrics.DedupHits++
 					return qj.Job, true, true, nil
 				}
@@ -259,6 +304,7 @@ func (s *Service) runJob(id string) {
 	}
 	qj.Status = JobRunning
 	qj.startedAt = s.now()
+	qj.Attempts++
 	payload := qj.payload
 	qj.payload = nil
 	// Journal the transition; the payload stays on disk until the job is
@@ -321,6 +367,9 @@ func (s *Service) runJob(id string) {
 		qj.Status = JobDone
 		qj.AnalysisID = analysisID
 		qj.doneAt = s.now()
+		qj.History = append(qj.History, Attempt{
+			Worker: workerInProcess, StartedAtUnix: qj.startedAt.Unix(), Outcome: attemptCompleted,
+		})
 		s.metrics.JobsCompleted++
 		s.queueEst.observe(qj.doneAt.Sub(qj.startedAt))
 		s.journalJobLocked(qj, nil)
@@ -349,6 +398,14 @@ func (s *Service) failJob(qj *queuedJob, code string, err error) {
 	qj.Error = err.Error()
 	qj.payload = nil
 	qj.doneAt = s.now()
+	worker := qj.WorkerID
+	if worker == "" {
+		worker = workerInProcess
+	}
+	qj.History = append(qj.History, Attempt{
+		Worker: worker, StartedAtUnix: qj.startedAt.Unix(), Outcome: attemptFailed, Detail: err.Error(),
+	})
+	qj.WorkerID = ""
 	s.metrics.JobsFailed++
 	s.metrics.UploadErrors++
 	if !qj.startedAt.IsZero() {

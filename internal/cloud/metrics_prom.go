@@ -46,6 +46,9 @@ func writeMetricsProm(w io.Writer, m Metrics) error {
 	pw.Counter("medsen_jobs_evicted_total", "Terminal job records dropped by retention.", float64(m.JobsEvicted))
 	pw.Counter("medsen_jobs_recovered_total", "Journaled jobs re-enqueued at startup.", float64(m.JobsRecovered))
 	pw.Counter("medsen_job_journal_errors_total", "Mid-run job journal writes that failed.", float64(m.JobJournalErrors))
+	pw.Counter("medsen_lease_expirations_total", "Worker leases that expired without a heartbeat.", float64(m.LeaseExpirations))
+	pw.Counter("medsen_jobs_reclaimed_total", "Expired-lease jobs re-enqueued by the reaper.", float64(m.JobsReclaimed))
+	pw.Counter("medsen_jobs_poisoned_total", "Jobs quarantined after exhausting their attempt budget.", float64(m.JobsPoisoned))
 
 	pw.Counter("medsen_rate_limited_total", "Submissions bounced by the per-client rate limiter.", float64(m.RateLimited))
 	pw.Counter("medsen_shed_total", "Submissions shed by the queue-wait estimator.", float64(m.Shed))
@@ -62,6 +65,7 @@ func writeMetricsProm(w io.Writer, m Metrics) error {
 	pw.Gauge("medsen_queue_depth", "Async jobs waiting for a worker.", float64(m.QueueDepth))
 	pw.Gauge("medsen_queue_wait_seconds", "Estimated queue wait for a newly enqueued job.", float64(m.QueueWaitMS)/1e3)
 	pw.Gauge("medsen_audit_records", "Records in the audit chain.", float64(m.AuditRecords))
+	pw.Gauge("medsen_workers_active", "Worker daemons seen on the workqueue API within two lease TTLs.", float64(m.WorkersActive))
 
 	return pw.Err()
 }

@@ -29,6 +29,9 @@ func TestPrometheusMetricNamesArePinned(t *testing.T) {
 		"medsen_jobs_evicted_total":         promexp.TypeCounter,
 		"medsen_jobs_recovered_total":       promexp.TypeCounter,
 		"medsen_job_journal_errors_total":   promexp.TypeCounter,
+		"medsen_lease_expirations_total":    promexp.TypeCounter,
+		"medsen_jobs_reclaimed_total":       promexp.TypeCounter,
+		"medsen_jobs_poisoned_total":        promexp.TypeCounter,
 		"medsen_rate_limited_total":         promexp.TypeCounter,
 		"medsen_shed_total":                 promexp.TypeCounter,
 		"medsen_dedup_hits_total":           promexp.TypeCounter,
@@ -42,6 +45,7 @@ func TestPrometheusMetricNamesArePinned(t *testing.T) {
 		"medsen_queue_depth":                promexp.TypeGauge,
 		"medsen_queue_wait_seconds":         promexp.TypeGauge,
 		"medsen_audit_records":              promexp.TypeGauge,
+		"medsen_workers_active":             promexp.TypeGauge,
 	}
 	var buf bytes.Buffer
 	if err := writeMetricsProm(&buf, Metrics{}); err != nil {
@@ -79,10 +83,11 @@ func TestPrometheusValuesMatchSnapshot(t *testing.T) {
 		Uploads: 7, UploadErrors: 1, Authentications: 3, AuthAccepted: 2,
 		JobsEnqueued: 11, JobsRejected: 4, JobsCompleted: 9, JobsFailed: 2,
 		JobsEvicted: 5, JobsRecovered: 1, JobJournalErrors: 1,
+		LeaseExpirations: 4, JobsReclaimed: 3, JobsPoisoned: 2,
 		RateLimited: 13, Shed: 6, DedupHits: 8, DedupJournalErrors: 1,
 		AuthDenied: 2, PermissionDenied: 1, AuditJournalErrors: 1,
 		StoredAnalyses: 42, EnrolledUsers: 5, DedupEntries: 17,
-		QueueDepth: 3, QueueWaitMS: 1500, AuditRecords: 99,
+		QueueDepth: 3, QueueWaitMS: 1500, AuditRecords: 99, WorkersActive: 2,
 	}
 	var buf bytes.Buffer
 	if err := writeMetricsProm(&buf, m); err != nil {
@@ -93,13 +98,17 @@ func TestPrometheusValuesMatchSnapshot(t *testing.T) {
 		t.Fatalf("Parse: %v", err)
 	}
 	checks := map[string]float64{
-		"medsen_uploads_total":      7,
-		"medsen_rate_limited_total": 13,
-		"medsen_shed_total":         6,
-		"medsen_dedup_hits_total":   8,
-		"medsen_queue_depth":        3,
-		"medsen_queue_wait_seconds": 1.5,
-		"medsen_audit_records":      99,
+		"medsen_uploads_total":           7,
+		"medsen_rate_limited_total":      13,
+		"medsen_shed_total":              6,
+		"medsen_dedup_hits_total":        8,
+		"medsen_queue_depth":             3,
+		"medsen_queue_wait_seconds":      1.5,
+		"medsen_audit_records":           99,
+		"medsen_jobs_reclaimed_total":    3,
+		"medsen_jobs_poisoned_total":     2,
+		"medsen_lease_expirations_total": 4,
+		"medsen_workers_active":          2,
 	}
 	for name, wantV := range checks {
 		f := fams[name]

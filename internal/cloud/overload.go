@@ -200,7 +200,8 @@ func (s *Service) estQueueWaitLocked() time.Duration {
 	if mean == 0 {
 		return 0
 	}
-	return time.Duration(len(s.jobCh)) * mean / time.Duration(s.workers)
+	depth := len(s.jobCh) + len(s.requeue)
+	return time.Duration(depth) * mean / time.Duration(s.workers)
 }
 
 // shedLocked decides whether a submission in the given lane must be shed,

@@ -96,6 +96,21 @@ type Service struct {
 	// jobGate, when non-nil, stalls each worker until a token arrives —
 	// tests use it to hold the queue full deterministically.
 	jobGate chan struct{}
+
+	// Lease-based external worker machinery (workqueue.go). externalWorkers
+	// disables the in-process pool: jobs wait for a worker daemon to pull
+	// them over the acquire API. requeue holds reclaimed job ids jobCh has no
+	// room for; acquire drains it first so reclaimed work is not starved.
+	// workerSeen tracks each worker id's last contact for the workers_active
+	// gauge. reaperStopped records that reaperStop is closed (guarded by mu).
+	externalWorkers bool
+	leaseTTL        time.Duration
+	maxAttempts     int
+	requeue         []string
+	workerSeen      map[string]time.Time
+	reaperStop      chan struct{}
+	reaperStopped   bool
+	reaperWG        sync.WaitGroup
 }
 
 type storedAnalysis struct {
@@ -173,6 +188,21 @@ type ServiceConfig struct {
 	// and key lifecycle events to the hash-chained audit trail, served to
 	// admins at GET /api/v1/audit.
 	Audit *audit.Log
+	// ExternalWorkers switches the service to pull mode: the in-process
+	// worker pool is not started, and async jobs wait for worker daemons
+	// (cmd/medsen-worker, or medsen-cloud -role=worker) to lease them over
+	// the internal workqueue API. The acquire/heartbeat/complete endpoints
+	// are served either way — a frontend with the pool running can still
+	// hand work to external workers.
+	ExternalWorkers bool
+	// LeaseTTL bounds one worker lease: a leased job whose holder has not
+	// heartbeat-renewed within it is reclaimed and re-enqueued by the
+	// frontend reaper (0 → 30 s).
+	LeaseTTL time.Duration
+	// MaxAttempts is the per-job attempt budget: a job failed or reclaimed
+	// this many times is quarantined as terminal "poisoned" instead of
+	// retried forever (0 → 5, negative → unbounded).
+	MaxAttempts int
 }
 
 // NewService builds the analysis service.
@@ -208,6 +238,15 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	}
 	if cfg.MaxQueueWait < 0 {
 		return nil, fmt.Errorf("cloud: negative max queue wait %v", cfg.MaxQueueWait)
+	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("cloud: negative lease TTL %v", cfg.LeaseTTL)
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = defaultLeaseTTL
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = defaultMaxAttempts
 	}
 	if cfg.RateLimit > 0 && cfg.RateBurst == 0 {
 		cfg.RateBurst = int(math.Ceil(2 * cfg.RateLimit))
@@ -250,13 +289,18 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		jobTTL:          cfg.JobTTL,
 		maxTerminalJobs: cfg.MaxTerminalJobs,
 		maxDedupEntries: cfg.MaxDedupEntries,
+		externalWorkers: cfg.ExternalWorkers,
+		leaseTTL:        cfg.LeaseTTL,
+		maxAttempts:     cfg.MaxAttempts,
 		now:             time.Now,
 		analyze:         Analyze,
 		analyses:        make(map[string]*storedAnalysis),
 		byUser:          make(map[string][]string),
 		jobs:            make(map[string]*queuedJob),
 		dedup:           make(map[string]*dedupEntry),
+		workerSeen:      make(map[string]time.Time),
 		jobStop:         make(chan struct{}),
+		reaperStop:      make(chan struct{}),
 	}
 	if cfg.RateLimit > 0 {
 		// The closure routes through s.now so tests that pin the service
@@ -273,13 +317,21 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err := s.loadDedup(); err != nil {
 		return nil, err
 	}
+	// Settle leases recovered from the journal now that the dedup index is
+	// loaded: a lease whose analysis already committed resolves to done, an
+	// expired one is reclaimed (or quarantined) back onto the pending list,
+	// a still-valid one stays leased for its holder to finish.
+	pending = append(pending, s.reconcileLeasesLocked()...)
 	// The channel must hold every recovered job on top of a full queue of
 	// new submissions, or re-enqueueing would block startup.
 	s.jobCh = make(chan string, cfg.QueueDepth+len(pending))
 	for _, id := range pending {
 		s.jobCh <- id
 	}
-	s.startJobWorkers()
+	if !s.externalWorkers {
+		s.startJobWorkers()
+	}
+	s.startReaper()
 	return s, nil
 }
 
@@ -300,6 +352,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/analyses/{id}", s.handleGetAnalysis)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("POST /api/v1/workqueue/acquire", s.handleAcquire)
+	mux.HandleFunc("POST /api/v1/workqueue/jobs/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/workqueue/jobs/{id}/complete", s.handleComplete)
+	mux.HandleFunc("POST /api/v1/workqueue/jobs/{id}/fail", s.handleFail)
 	mux.HandleFunc("POST /api/v1/analyses/{id}/authenticate", s.handleAuthenticate)
 	mux.HandleFunc("POST /api/v1/users", s.handleEnroll)
 	mux.HandleFunc("GET /api/v1/users/{id}/analyses", s.handleUserAnalyses)
@@ -346,6 +402,16 @@ func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"ready": false, "reason": fmt.Sprintf("journal unwritable: %v", err)})
 		return
+	}
+	// The audit chain is probed too: a full disk under audit.log would
+	// otherwise report ready while every authenticated request 500s on its
+	// unappendable trail.
+	if s.auditLog != nil {
+		if err := s.auditLog.Probe(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"ready": false, "reason": fmt.Sprintf("audit trail unappendable: %v", err)})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
@@ -822,6 +888,12 @@ type Metrics struct {
 	JobsEvicted      int64 `json:"jobs_evicted"`
 	JobsRecovered    int64 `json:"jobs_recovered"`
 	JobJournalErrors int64 `json:"job_journal_errors"`
+	// Lease-queue counters (workqueue.go): leases that expired without a
+	// heartbeat, expired jobs re-enqueued by the reaper, and jobs
+	// quarantined after exhausting their attempt budget.
+	LeaseExpirations int64 `json:"lease_expirations"`
+	JobsReclaimed    int64 `json:"jobs_reclaimed"`
+	JobsPoisoned     int64 `json:"jobs_poisoned"`
 	// Overload-protection and idempotency counters: submissions bounced by
 	// the per-client rate limiter, submissions shed by the queue-wait
 	// estimator, duplicates answered from the idempotency index, and index
@@ -844,6 +916,9 @@ type Metrics struct {
 	QueueDepth   int   `json:"queue_depth"`
 	QueueWaitMS  int64 `json:"queue_wait_ms"`
 	AuditRecords int   `json:"audit_records"`
+	// WorkersActive counts distinct worker daemons seen on the workqueue
+	// API within the last two lease TTLs.
+	WorkersActive int `json:"workers_active"`
 }
 
 // Snapshot returns the current counters.
@@ -854,8 +929,9 @@ func (s *Service) Snapshot() Metrics {
 	m.StoredAnalyses = len(s.analyses)
 	m.EnrolledUsers = s.registry.Len()
 	m.DedupEntries = len(s.dedup)
-	m.QueueDepth = len(s.jobCh)
+	m.QueueDepth = len(s.jobCh) + len(s.requeue)
 	m.QueueWaitMS = s.estQueueWaitLocked().Milliseconds()
+	m.WorkersActive = s.activeWorkersLocked()
 	if s.auditLog != nil {
 		m.AuditRecords = s.auditLog.Len()
 	}

@@ -82,6 +82,13 @@ type persistedJob struct {
 	// Owner is the submitting principal's subject, so recovery preserves
 	// the tenant scope of the job and its eventual analysis.
 	Owner string `json:"owner,omitempty"`
+	// Attempts, WorkerID, LeaseExpiryUnix and History journal the lease
+	// state, so a frontend restart reconciles an outstanding lease instead
+	// of forgetting it (workqueue.go reconcileLeasesLocked).
+	Attempts        int       `json:"attempts,omitempty"`
+	WorkerID        string    `json:"worker_id,omitempty"`
+	LeaseExpiryUnix int64     `json:"lease_expiry_unix,omitempty"`
+	History         []Attempt `json:"history,omitempty"`
 }
 
 // jobFilePrefix distinguishes job journal documents from analysis documents
@@ -108,9 +115,15 @@ func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
 		Error:      qj.Error,
 		CaptureKey: qj.captureKey,
 		Owner:      qj.Owner,
+		Attempts:   qj.Attempts,
+		WorkerID:   qj.WorkerID,
+		History:    qj.History,
 	}
 	if !qj.startedAt.IsZero() {
 		doc.StartedAtUnix = qj.startedAt.Unix()
+	}
+	if !qj.leaseExpiry.IsZero() {
+		doc.LeaseExpiryUnix = qj.leaseExpiry.Unix()
 	}
 	if !qj.doneAt.IsZero() {
 		doc.DoneAtUnix = qj.doneAt.Unix()
@@ -176,6 +189,9 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			ErrorCode:  doc.ErrorCode,
 			Error:      doc.Error,
 			Owner:      doc.Owner,
+			Attempts:   doc.Attempts,
+			WorkerID:   doc.WorkerID,
+			History:    doc.History,
 		}, captureKey: doc.CaptureKey}
 		switch {
 		case doc.Status.Terminal():
@@ -183,6 +199,14 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			if doc.DoneAtUnix == 0 {
 				qj.doneAt = s.now()
 			}
+		case doc.Status == JobLeased:
+			// A live lease from the previous process: restore it intact.
+			// reconcileLeasesLocked (called once the dedup index is loaded)
+			// settles it — to the committed analysis, a clean re-enqueue, or
+			// quarantine — so the job is never left stuck.
+			qj.payload = doc.Payload
+			qj.startedAt = time.Unix(doc.StartedAtUnix, 0)
+			qj.leaseExpiry = time.Unix(doc.LeaseExpiryUnix, 0)
 		case s.jobTimeout > 0 && doc.Status == JobRunning && doc.StartedAtUnix > 0 &&
 			s.now().Sub(time.Unix(doc.StartedAtUnix, 0)) > s.jobTimeout:
 			// The job was already past its execution deadline when the

@@ -1,0 +1,609 @@
+package cloud
+
+// The lease-based work queue: the internal API worker daemons pull analysis
+// jobs from, and the reaper that guarantees no job is ever stranded by a
+// worker that crashed, stalled, or fell off the network.
+//
+// The execution layer originally lived inside the HTTP process (jobs.go): a
+// worker crash was a process crash. Splitting it out makes worker loss an
+// *expected* event the frontend recovers from, with three rules:
+//
+//   - Every job handed to a worker carries a time-bounded lease, journaled
+//     with the job. The worker renews it by heartbeating; a lease that
+//     expires un-renewed means the worker is gone (killed, partitioned, or
+//     stalled past the TTL) and the job no longer belongs to it.
+//   - The reaper reclaims expired leases: the job goes back on the queue
+//     with its attempt counter bumped, unless its analysis already committed
+//     (then it resolves to the stored result — exactly-once success on top
+//     of at-least-once attempts, riding the dedup index) or its attempt
+//     budget is exhausted (then it is quarantined as terminal "poisoned"
+//     with its full attempt history, and an audit event — never retried
+//     forever, never silently dropped).
+//   - A worker whose lease was lost gets 409 lease_lost on every further
+//     mutation of the job. Whatever it computed is discarded; the current
+//     lease holder's result is the one that counts. Exactly one analysis is
+//     ever stored per capture.
+//
+// Workers authenticate with RoleWorker keys, which authorize exactly this
+// surface (auth.ObjectWorkqueue) and nothing else.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"medsen/internal/audit"
+	"medsen/internal/auth"
+)
+
+// Defaults for the lease machinery.
+const (
+	defaultLeaseTTL    = 30 * time.Second
+	defaultMaxAttempts = 5
+)
+
+// AcquireRequest is the POST /api/v1/workqueue/acquire body.
+type AcquireRequest struct {
+	// WorkerID identifies the daemon taking the lease; it must be stable
+	// across the lease's heartbeats and completion.
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseGrant is the acquire response. Granted=false (with the queue empty)
+// is a normal answer the worker polls past, not an error — so a client retry
+// seam never mistakes an empty queue for a failure.
+type LeaseGrant struct {
+	Granted bool `json:"granted"`
+	// Job is the leased job (zero when not granted).
+	Job Job `json:"job,omitempty"`
+	// Payload is the compressed capture to analyze.
+	Payload []byte `json:"payload,omitempty"`
+	// LeaseExpiryUnix is when the lease lapses without a heartbeat.
+	LeaseExpiryUnix int64 `json:"lease_expiry_unix,omitempty"`
+	// LeaseTTLSeconds is the renewal interval base: each heartbeat pushes
+	// the expiry this far out again.
+	LeaseTTLSeconds float64 `json:"lease_ttl_seconds,omitempty"`
+}
+
+// HeartbeatRequest is the heartbeat/complete/fail owner assertion; Code and
+// Message are used by fail only.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// HeartbeatResponse carries the renewed expiry.
+type HeartbeatResponse struct {
+	LeaseExpiryUnix int64 `json:"lease_expiry_unix"`
+}
+
+// CompleteRequest is the POST .../complete body: the worker's finished
+// report under its owner assertion.
+type CompleteRequest struct {
+	WorkerID string `json:"worker_id"`
+	Report   Report `json:"report"`
+}
+
+// CompleteResponse names the stored analysis.
+type CompleteResponse struct {
+	AnalysisID string `json:"analysis_id"`
+}
+
+// FailRequest is the POST .../fail body: the worker's terminal verdict on
+// its attempt, in the error-envelope code vocabulary.
+type FailRequest struct {
+	WorkerID string `json:"worker_id"`
+	Code     string `json:"code,omitempty"`
+	Message  string `json:"message"`
+}
+
+// decodeWorkqueueBody decodes one workqueue request body, answering the 400
+// itself on malformed input.
+func decodeWorkqueueBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// authorizeWorkqueue gates a workqueue endpoint: worker and admin keys (and
+// the anonymous principal when auth is disabled) may drive the lease API.
+func (s *Service) authorizeWorkqueue(w http.ResponseWriter, r *http.Request, auditAction, objectRef string) bool {
+	return s.authorize(w, r, auth.ActionUpdate, auth.Object{Type: auth.ObjectWorkqueue},
+		auditAction, objectRef)
+}
+
+// handleAcquire leases the next queued job to the requesting worker: 200
+// {granted:true, job, payload, lease bounds} when work is available, 200
+// {granted:false} when the queue is empty or the service is draining. The
+// lease transition (status, worker, attempt counter, expiry) is journaled
+// with the payload before the grant is sent, so a frontend crash cannot
+// forget an outstanding lease.
+func (s *Service) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeWorkqueue(w, r, "workqueue.acquire", "") {
+		return
+	}
+	var req AcquireRequest
+	if !decodeWorkqueueBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("worker_id is required"))
+		return
+	}
+	p := s.principal(r)
+	s.mu.Lock()
+	now := s.now()
+	s.workerSeen[req.WorkerID] = now
+	if s.jobsClosed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, LeaseGrant{Granted: false})
+		return
+	}
+	qj := s.nextQueuedLocked()
+	if qj == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, LeaseGrant{Granted: false})
+		return
+	}
+	qj.Status = JobLeased
+	qj.WorkerID = req.WorkerID
+	qj.Attempts++
+	qj.startedAt = now
+	qj.leaseExpiry = now.Add(s.leaseTTL)
+	// The payload stays in memory and in the journal while the lease is
+	// live: a reclaim (or a frontend restart) must be able to re-run it.
+	s.journalJobLocked(qj, qj.payload)
+	grant := LeaseGrant{
+		Granted:         true,
+		Job:             qj.Job,
+		Payload:         qj.payload,
+		LeaseExpiryUnix: qj.leaseExpiry.Unix(),
+		LeaseTTLSeconds: s.leaseTTL.Seconds(),
+	}
+	s.mu.Unlock()
+	s.auditEvent(p, "job.lease", grant.Job.ID, audit.OutcomeOK,
+		fmt.Sprintf("worker=%s attempt=%d", req.WorkerID, grant.Job.Attempts))
+	writeJSON(w, http.StatusOK, grant)
+}
+
+// nextQueuedLocked pops the next runnable queued job — reclaimed jobs on the
+// requeue list first, then the submission channel — skipping ids whose job
+// was evicted, already settled, or resolved through the dedup index.
+// Callers must hold s.mu.
+func (s *Service) nextQueuedLocked() *queuedJob {
+	for {
+		var id string
+		if len(s.requeue) > 0 {
+			id = s.requeue[0]
+			s.requeue = s.requeue[1:]
+		} else {
+			select {
+			case next, ok := <-s.jobCh:
+				if !ok {
+					return nil
+				}
+				id = next
+			default:
+				return nil
+			}
+		}
+		qj, ok := s.jobs[id]
+		if !ok || qj.Status != JobQueued {
+			continue
+		}
+		if s.resolveCommittedLocked(qj) {
+			continue
+		}
+		return qj
+	}
+}
+
+// resolveCommittedLocked settles a job whose capture already has a stored
+// analysis — the exactly-once guarantee: work that committed under an
+// earlier lease must never be handed out or re-run again. Reports whether
+// the job was settled. Callers must hold s.mu.
+func (s *Service) resolveCommittedLocked(qj *queuedJob) bool {
+	if qj.captureKey == "" {
+		return false
+	}
+	e := s.dedup[qj.captureKey]
+	if e == nil || e.analysisID == "" {
+		return false
+	}
+	qj.Status = JobDone
+	qj.AnalysisID = e.analysisID
+	qj.WorkerID = ""
+	qj.payload = nil
+	qj.leaseExpiry = time.Time{}
+	qj.doneAt = s.now()
+	s.metrics.JobsCompleted++
+	s.journalJobLocked(qj, nil)
+	s.evictJobsLocked()
+	return true
+}
+
+// leasedJobLocked resolves a workqueue mutation's target: the job must exist
+// and the requester must hold its current lease. The error cases answer
+// themselves: 404 for an unknown (or evicted) id, 409 lease_lost when the
+// job is not leased to this worker — the worker must abandon the attempt.
+// Callers must hold s.mu.
+func (s *Service) leasedJobLocked(w http.ResponseWriter, id, workerID string) (*queuedJob, bool) {
+	qj, ok := s.jobs[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("job %q not found", id))
+		return nil, false
+	}
+	if qj.Status != JobLeased || qj.WorkerID != workerID {
+		writeError(w, http.StatusConflict, CodeLeaseLost,
+			fmt.Errorf("worker %q no longer holds the lease on %s (status %s)", workerID, id, qj.Status))
+		return nil, false
+	}
+	return qj, true
+}
+
+// handleHeartbeat renews a lease: the expiry moves a full TTL out and the
+// renewal is journaled, so a reclaim decision — on this process or the next
+// one after a restart — always sees the latest renewal.
+func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorizeWorkqueue(w, r, "workqueue.heartbeat", id) {
+		return
+	}
+	var req HeartbeatRequest
+	if !decodeWorkqueueBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workerSeen[req.WorkerID] = s.now()
+	qj, ok := s.leasedJobLocked(w, id, req.WorkerID)
+	if !ok {
+		return
+	}
+	qj.leaseExpiry = s.now().Add(s.leaseTTL)
+	s.journalJobLocked(qj, qj.payload)
+	writeJSON(w, http.StatusOK, HeartbeatResponse{LeaseExpiryUnix: qj.leaseExpiry.Unix()})
+}
+
+// handleComplete commits a leased job's finished report: store, mark done,
+// resolve the capture key. Completing an already-done job is idempotent (a
+// worker retrying a torn response gets the stored analysis id), and the
+// persist-then-commit discipline holds — a failed store leaves the lease
+// live for the worker to retry.
+func (s *Service) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorizeWorkqueue(w, r, "workqueue.complete", id) {
+		return
+	}
+	var req CompleteRequest
+	if !decodeWorkqueueBody(w, r, &req) {
+		return
+	}
+	p := s.principal(r)
+	s.mu.Lock()
+	s.workerSeen[req.WorkerID] = s.now()
+	if qj, ok := s.jobs[id]; ok && qj.Status == JobDone {
+		analysisID := qj.AnalysisID
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, CompleteResponse{AnalysisID: analysisID})
+		return
+	}
+	qj, ok := s.leasedJobLocked(w, id, req.WorkerID)
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	analysisID, err := s.storeReportLocked(req.Report, qj.Owner)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	qj.Status = JobDone
+	qj.AnalysisID = analysisID
+	qj.WorkerID = ""
+	qj.payload = nil
+	qj.leaseExpiry = time.Time{}
+	qj.doneAt = s.now()
+	qj.History = append(qj.History, Attempt{
+		Worker: req.WorkerID, StartedAtUnix: qj.startedAt.Unix(), Outcome: attemptCompleted,
+	})
+	s.metrics.JobsCompleted++
+	s.queueEst.observe(qj.doneAt.Sub(qj.startedAt))
+	s.journalJobLocked(qj, nil)
+	if qj.captureKey != "" {
+		s.completeCaptureLocked(qj.captureKey, analysisID)
+	}
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	s.auditEvent(p, "job.complete", id, audit.OutcomeOK,
+		fmt.Sprintf("worker=%s analysis=%s", req.WorkerID, analysisID))
+	writeJSON(w, http.StatusOK, CompleteResponse{AnalysisID: analysisID})
+}
+
+// handleFail records a worker's failed attempt. Within the attempt budget
+// the job goes back on the queue for another worker; at the budget it is
+// quarantined as terminal poisoned. Either way the attempt lands in the
+// job's history and the worker gets the updated job record back.
+func (s *Service) handleFail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorizeWorkqueue(w, r, "workqueue.fail", id) {
+		return
+	}
+	var req FailRequest
+	if !decodeWorkqueueBody(w, r, &req) {
+		return
+	}
+	if req.Code == "" {
+		req.Code = CodeInternal
+	}
+	p := s.principal(r)
+	s.mu.Lock()
+	s.workerSeen[req.WorkerID] = s.now()
+	qj, ok := s.leasedJobLocked(w, id, req.WorkerID)
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	qj.History = append(qj.History, Attempt{
+		Worker: req.WorkerID, StartedAtUnix: qj.startedAt.Unix(),
+		Outcome: attemptFailed, Detail: req.Message,
+	})
+	qj.WorkerID = ""
+	qj.leaseExpiry = time.Time{}
+	var action, detail string
+	if s.maxAttempts > 0 && qj.Attempts >= s.maxAttempts {
+		s.quarantineLocked(qj, req.Code,
+			fmt.Errorf("attempt budget exhausted after %d attempts; last error: %s", qj.Attempts, req.Message))
+		action, detail = "job.quarantine", fmt.Sprintf("worker=%s attempts=%d", req.WorkerID, qj.Attempts)
+	} else {
+		qj.Status = JobQueued
+		qj.startedAt = time.Time{}
+		s.requeueLocked(qj.ID)
+		s.journalJobLocked(qj, qj.payload)
+		action, detail = "job.fail", fmt.Sprintf("worker=%s attempt=%d code=%s", req.WorkerID, qj.Attempts, req.Code)
+	}
+	job := qj.Job
+	s.mu.Unlock()
+	s.auditEvent(p, action, id, audit.OutcomeError, detail)
+	writeJSON(w, http.StatusOK, job)
+}
+
+// quarantineLocked moves a job to terminal poisoned: the attempt budget is
+// spent, so retrying would only burn another worker on the same capture.
+// The capture key is released — quarantine is a statement about this job's
+// history, not a verdict on the capture, so a fresh submission may try
+// again with a fresh budget. Callers must hold s.mu and must have recorded
+// the final attempt in the history already.
+func (s *Service) quarantineLocked(qj *queuedJob, code string, reason error) {
+	qj.Status = JobPoisoned
+	qj.ErrorCode = code
+	qj.Error = reason.Error()
+	qj.WorkerID = ""
+	qj.payload = nil
+	qj.leaseExpiry = time.Time{}
+	qj.doneAt = s.now()
+	qj.History = append(qj.History, Attempt{
+		Worker: workerReaper, StartedAtUnix: qj.doneAt.Unix(),
+		Outcome: attemptQuarantined, Detail: reason.Error(),
+	})
+	s.metrics.JobsPoisoned++
+	if !qj.startedAt.IsZero() {
+		s.queueEst.observe(qj.doneAt.Sub(qj.startedAt))
+	}
+	if qj.captureKey != "" {
+		s.dropCaptureLocked(qj.captureKey, qj.ID)
+	}
+	s.journalJobLocked(qj, nil)
+	s.evictJobsLocked()
+}
+
+// requeueLocked puts a job id back in line: into the channel when it has
+// room, else onto the overflow list acquire drains first. Callers must hold
+// s.mu.
+func (s *Service) requeueLocked(id string) {
+	if !s.jobsClosed {
+		select {
+		case s.jobCh <- id:
+			return
+		default:
+		}
+	}
+	s.requeue = append(s.requeue, id)
+}
+
+// workerReaper is the attempt-history attribution of reaper decisions.
+const workerReaper = "workqueue-reaper"
+
+// startReaper launches the lease reaper, ticking a fraction of the TTL so
+// an expired lease is noticed well within one TTL of lapsing.
+func (s *Service) startReaper() {
+	interval := s.leaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s.reaperWG.Add(1)
+	go func() {
+		defer s.reaperWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.reaperStop:
+				return
+			case <-t.C:
+				s.reapLeases()
+			}
+		}
+	}()
+}
+
+// stopReaper terminates the reaper goroutine (idempotent; Close/Shutdown).
+func (s *Service) stopReaper() {
+	s.mu.Lock()
+	if !s.reaperStopped {
+		s.reaperStopped = true
+		close(s.reaperStop)
+	}
+	s.mu.Unlock()
+	s.reaperWG.Wait()
+}
+
+// reapLeases is one reaper tick: reclaim or quarantine every expired lease,
+// move overflow requeue entries into the channel for the in-process pool,
+// and sweep departed workers from the active-gauge map. Tests drive it
+// directly with a pinned clock.
+func (s *Service) reapLeases() {
+	type reaped struct {
+		id     string
+		action string
+		detail string
+	}
+	var events []reaped
+	s.mu.Lock()
+	now := s.now()
+	for _, qj := range s.jobs {
+		if qj.Status != JobLeased || qj.leaseExpiry.After(now) {
+			continue
+		}
+		s.metrics.LeaseExpirations++
+		worker := qj.WorkerID
+		if s.resolveCommittedLocked(qj) {
+			// The worker committed its analysis but died before the done
+			// transition (crash between store and journal is impossible —
+			// both happen under the lock — but complete's response can be
+			// lost). The stored result stands; nothing re-runs.
+			events = append(events, reaped{qj.ID, "job.complete",
+				fmt.Sprintf("worker=%s resolved to committed analysis after lease expiry", worker)})
+			continue
+		}
+		qj.History = append(qj.History, Attempt{
+			Worker: worker, StartedAtUnix: qj.startedAt.Unix(), Outcome: attemptReclaimed,
+			Detail: fmt.Sprintf("lease expired after %d attempts", qj.Attempts),
+		})
+		qj.WorkerID = ""
+		qj.leaseExpiry = time.Time{}
+		if s.maxAttempts > 0 && qj.Attempts >= s.maxAttempts {
+			s.quarantineLocked(qj, CodePoisoned,
+				fmt.Errorf("attempt budget exhausted: %d leases expired or failed without a committed analysis", qj.Attempts))
+			events = append(events, reaped{qj.ID, "job.quarantine",
+				fmt.Sprintf("worker=%s attempts=%d", worker, qj.Attempts)})
+			continue
+		}
+		qj.Status = JobQueued
+		qj.startedAt = time.Time{}
+		s.metrics.JobsReclaimed++
+		s.requeueLocked(qj.ID)
+		s.journalJobLocked(qj, qj.payload)
+		events = append(events, reaped{qj.ID, "job.reclaim",
+			fmt.Sprintf("worker=%s attempt=%d lease expired", worker, qj.Attempts)})
+	}
+	// With the in-process pool running, overflow requeue entries must reach
+	// the channel the pool blocks on.
+	if !s.externalWorkers {
+		s.drainRequeueLocked()
+	}
+	for id, seen := range s.workerSeen {
+		if now.Sub(seen) > 2*s.leaseTTL {
+			delete(s.workerSeen, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range events {
+		s.auditSystemEvent(e.action, e.id, e.detail)
+	}
+}
+
+// drainRequeueLocked moves overflow requeue entries into the channel while
+// it has room. Callers must hold s.mu.
+func (s *Service) drainRequeueLocked() {
+	for len(s.requeue) > 0 && !s.jobsClosed {
+		select {
+		case s.jobCh <- s.requeue[0]:
+			s.requeue = s.requeue[1:]
+		default:
+			return
+		}
+	}
+}
+
+// activeWorkersLocked counts workers seen on the workqueue API within the
+// last two lease TTLs. Callers must hold s.mu (read or write).
+func (s *Service) activeWorkersLocked() int {
+	now := s.now()
+	n := 0
+	for _, seen := range s.workerSeen {
+		if now.Sub(seen) <= 2*s.leaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// auditSystemEvent records a reaper decision in the audit trail under the
+// reaper's own actor name — there is no HTTP principal behind it.
+func (s *Service) auditSystemEvent(action, object, detail string) {
+	if s.auditLog == nil {
+		return
+	}
+	if _, err := s.auditLog.Append(audit.Record{
+		Actor:   workerReaper,
+		Action:  action,
+		Object:  object,
+		Outcome: audit.OutcomeOK,
+		Detail:  detail,
+	}); err != nil {
+		s.mu.Lock()
+		s.metrics.AuditJournalErrors++
+		s.mu.Unlock()
+	}
+}
+
+// reconcileLeasesLocked settles leases restored from the journal at startup,
+// returning ids to re-enqueue. Runs from NewService after loadJobs and
+// loadDedup, before anything else touches the maps:
+//
+//   - lease's analysis already committed → done (exactly-once: the result
+//     the worker stored before the crash stands);
+//   - lease expired → reclaim within the attempt budget, quarantine past
+//     it — exactly what the reaper would do;
+//   - lease still valid → keep it; its worker heartbeats against the
+//     restarted frontend as if nothing happened.
+//
+// Either way a journaled lease never comes back as a stuck running job.
+func (s *Service) reconcileLeasesLocked() (pending []string) {
+	now := s.now()
+	for _, qj := range s.jobs {
+		if qj.Status != JobLeased {
+			continue
+		}
+		if s.resolveCommittedLocked(qj) {
+			continue
+		}
+		if qj.leaseExpiry.After(now) {
+			continue
+		}
+		s.metrics.LeaseExpirations++
+		qj.History = append(qj.History, Attempt{
+			Worker: qj.WorkerID, StartedAtUnix: qj.startedAt.Unix(), Outcome: attemptReclaimed,
+			Detail: fmt.Sprintf("lease expired across a frontend restart after %d attempts", qj.Attempts),
+		})
+		qj.WorkerID = ""
+		qj.leaseExpiry = time.Time{}
+		if s.maxAttempts > 0 && qj.Attempts >= s.maxAttempts {
+			s.quarantineLocked(qj, CodePoisoned,
+				fmt.Errorf("attempt budget exhausted: %d leases expired or failed without a committed analysis", qj.Attempts))
+			continue
+		}
+		qj.Status = JobQueued
+		qj.startedAt = time.Time{}
+		s.metrics.JobsReclaimed++
+		s.journalJobLocked(qj, qj.payload)
+		pending = append(pending, qj.ID)
+	}
+	return pending
+}

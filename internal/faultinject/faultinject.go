@@ -75,6 +75,23 @@ func (s *source) hit(rate float64) bool {
 	return true
 }
 
+// force consumes one fault from the budget unconditionally, without drawing
+// randomness, so a caller can pin a guaranteed fault into an otherwise
+// probabilistic schedule (keeping the seeded draw sequence untouched).
+// Returns false only when the budget is exhausted.
+func (s *source) force() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget == 0 {
+		return false
+	}
+	if s.budget > 0 {
+		s.budget--
+	}
+	s.injected++
+	return true
+}
+
 // intn draws a bounded integer (for picking flip bits, truncation points).
 func (s *source) intn(n int) int {
 	s.mu.Lock()

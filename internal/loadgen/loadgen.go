@@ -375,6 +375,9 @@ func diffMetrics(before, after cloud.Metrics) cloud.Metrics {
 	d.JobsEvicted -= before.JobsEvicted
 	d.JobsRecovered -= before.JobsRecovered
 	d.JobJournalErrors -= before.JobJournalErrors
+	d.LeaseExpirations -= before.LeaseExpirations
+	d.JobsReclaimed -= before.JobsReclaimed
+	d.JobsPoisoned -= before.JobsPoisoned
 	d.RateLimited -= before.RateLimited
 	d.Shed -= before.Shed
 	d.DedupHits -= before.DedupHits
@@ -435,6 +438,10 @@ func (r Result) Summary() string {
 		add("server deltas      uploads=%d enqueued=%d rate_limited=%d shed=%d dedup_hits=%d upload_errors=%d",
 			r.Server.Uploads, r.Server.JobsEnqueued, r.Server.RateLimited,
 			r.Server.Shed, r.Server.DedupHits, r.Server.UploadErrors)
+		if r.Server.JobsReclaimed != 0 || r.Server.JobsPoisoned != 0 || r.Server.LeaseExpirations != 0 || r.Server.WorkersActive != 0 {
+			add("worker deltas      lease_expirations=%d reclaimed=%d poisoned=%d workers_active=%d",
+				r.Server.LeaseExpirations, r.Server.JobsReclaimed, r.Server.JobsPoisoned, r.Server.WorkersActive)
+		}
 	}
 	return string(b)
 }
