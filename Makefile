@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json worker-chaos-soak worker-loadgen-smoke fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json worker-chaos-soak disk-chaos-soak worker-loadgen-smoke fuzz vet fmt experiments clean
 
 all: build test
 
@@ -46,6 +46,13 @@ loadgen-json:
 # three seeds; zero capture loss, exactly one analysis per capture.
 worker-chaos-soak:
 	$(GO) test -race -run TestWorkerChaosSoak -count=1 ./internal/faultinject
+
+# Durable-state chaos gate: several service lives over one state directory
+# under seeded disk faults, a full-disk degraded window, and deliberate
+# between-life corruption; every acked capture survives bitwise intact and
+# each restart quarantines exactly the broken documents.
+disk-chaos-soak:
+	$(GO) test -race -run TestDiskChaosSoak -count=1 ./internal/faultinject
 
 # Fleet smoke in the distributed topology: frontend in lease mode plus
 # pull-mode workers, with the Prometheus report round-tripped through the

@@ -6,7 +6,14 @@
 // With -state-dir the async job queue is durable: accepted jobs are
 // journaled and recovered on restart, and SIGTERM/SIGINT drains in-flight
 // analyses within -shutdown-timeout instead of killing workers mid-job
-// (still-queued jobs stay journaled for the next start).
+// (still-queued jobs stay journaled for the next start). Documents are
+// checksummed on disk; a corrupt one is quarantined to <state-dir>/corrupt
+// at startup (audited, counted in store_salvaged) and the service starts on
+// the healthy remainder — pass -salvage=false to refuse to start instead.
+// While durable writes fail persistently the service serves reads but
+// refuses mutations with 503 degraded, recovering automatically once the
+// disk heals; verify a state directory offline with medsen-keytool store
+// fsck.
 //
 // -rate-limit bounds each client to a sustained submissions-per-second rate
 // (burst -rate-burst) answered with 429 + Retry-After, and -max-queue-wait
@@ -44,7 +51,7 @@
 // Usage:
 //
 //	medsen-cloud [-role all|frontend|worker] [-addr :8077] [-workers N]
-//	             [-queue-depth N] [-state-dir DIR]
+//	             [-queue-depth N] [-state-dir DIR] [-salvage=false]
 //	             [-job-ttl D] [-max-terminal-jobs N] [-shutdown-timeout D]
 //	             [-job-timeout D] [-rate-limit N] [-rate-burst N] [-max-queue-wait D]
 //	             [-lease-ttl D] [-max-attempts N]
@@ -83,6 +90,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "async analysis worker count (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "async job queue depth before 429 backpressure (0 = default 64)")
 	stateDir := flag.String("state-dir", "", "directory persisting analyses and job journals across restarts (empty = in-memory only)")
+	salvage := flag.Bool("salvage", true, "quarantine corrupt state documents to <state-dir>/corrupt and start on the healthy remainder; -salvage=false refuses to start over any corrupt document (inspect offline with medsen-keytool store fsck)")
 	jobTTL := flag.Duration("job-ttl", 0, "terminal async job retention (0 = default 1h, negative = keep until count bound)")
 	maxTerminalJobs := flag.Int("max-terminal-jobs", 0, "retained terminal async job records (0 = default 1024, negative = unbounded)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
@@ -199,6 +207,7 @@ func run() int {
 		RateLimit:       *rateLimit,
 		RateBurst:       *rateBurst,
 		MaxQueueWait:    *maxQueueWait,
+		StrictLoad:      !*salvage,
 		Keystore:        keystore,
 		Audit:           auditLog,
 		ExternalWorkers: *role == "frontend",

@@ -3,7 +3,8 @@
 // or open practitioner shares (§VII-B key sharing) — plus the analysis
 // service's API-key store and audit trail: issue, list and revoke bearer
 // keys directly against a service state directory (offline bootstrap, no
-// admin key needed), and verify an audit chain's hash links.
+// admin key needed), verify an audit chain's hash links, and offline-verify
+// a state directory's checksummed documents (store fsck).
 //
 // Usage:
 //
@@ -15,12 +16,14 @@
 //	medsen-keytool apikey list -state-dir DIR
 //	medsen-keytool apikey revoke -state-dir DIR -id key-2
 //	medsen-keytool audit verify -state-dir DIR
+//	medsen-keytool store fsck -state-dir DIR
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"medsen/internal/audit"
@@ -53,6 +56,8 @@ func run(args []string) int {
 		err = cmdAPIKey(args[1:])
 	case "audit":
 		err = cmdAudit(args[1:])
+	case "store":
+		err = cmdStore(args[1:])
 	default:
 		usage()
 		return 2
@@ -65,7 +70,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: medsen-keytool <gen|inspect|seal|open|apikey|audit> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: medsen-keytool <gen|inspect|seal|open|apikey|audit|store> [flags]")
 }
 
 func cmdGen(args []string) error {
@@ -333,5 +338,36 @@ func cmdAudit(args []string) error {
 		fmt.Printf(", head %s", h)
 	}
 	fmt.Println()
+	return nil
+}
+
+func cmdStore(args []string) error {
+	if len(args) < 1 || args[0] != "fsck" {
+		return fmt.Errorf("usage: medsen-keytool store fsck -state-dir DIR")
+	}
+	fs := flag.NewFlagSet("store fsck", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "service state directory (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("store fsck: -state-dir is required")
+	}
+	// Offline checksum verification of every document, without touching the
+	// directory: what a salvage-enabled restart would quarantine, listed in
+	// advance. Non-zero exit on any corruption, so scripts can gate on it.
+	checked, legacy, issues, err := cloud.FsckStateDir(*stateDir)
+	if err != nil {
+		return err
+	}
+	for _, issue := range issues {
+		fmt.Printf("corrupt: %s: %v\n", issue.Name, issue.Err)
+	}
+	fmt.Printf("checked %d documents: %d healthy, %d legacy (no checksum), %d corrupt\n",
+		checked, checked-legacy-len(issues), legacy, len(issues))
+	if len(issues) > 0 {
+		return fmt.Errorf("store fsck: %d corrupt document(s); a salvage-enabled start quarantines them to %s",
+			len(issues), filepath.Join(*stateDir, "corrupt"))
+	}
 	return nil
 }

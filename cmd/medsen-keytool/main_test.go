@@ -63,3 +63,24 @@ func TestKeytoolErrors(t *testing.T) {
 		t.Error("wrong passphrase should fail")
 	}
 }
+
+// TestKeytoolStoreFsck drives the offline state-dir verifier: exit 0 on a
+// healthy directory, non-zero once a document is corrupted.
+func TestKeytoolStoreFsck(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"store", "fsck", "-state-dir", dir}); code != 0 {
+		t.Fatalf("fsck of a healthy directory exited %d", code)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "an-1.json"), []byte("{torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"store", "fsck", "-state-dir", dir}); code == 0 {
+		t.Fatal("fsck of a corrupt directory should exit non-zero")
+	}
+	if code := run([]string{"store", "fsck"}); code == 0 {
+		t.Fatal("fsck without -state-dir should fail")
+	}
+	if code := run([]string{"store", "scrub"}); code == 0 {
+		t.Fatal("unknown store subcommand should fail")
+	}
+}

@@ -20,12 +20,9 @@ package cloud
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sort"
-	"strings"
 )
 
 // CaptureKey returns the canonical content-derived idempotency key for a
@@ -148,7 +145,7 @@ func (s *Service) completeCaptureLocked(key, analysisID string) {
 func (s *Service) dropCaptureLocked(key, jobID string) {
 	if e := s.dedup[key]; e != nil && e.jobID == jobID && e.analysisID == "" {
 		delete(s.dedup, key)
-		s.removeDedupFile(key)
+		s.removeDedupDocLocked(key)
 	}
 }
 
@@ -180,7 +177,7 @@ func (s *Service) evictDedupLocked() {
 			break
 		}
 		delete(s.dedup, e.key)
-		s.removeDedupFile(e.key)
+		s.removeDedupDocLocked(e.key)
 	}
 }
 
@@ -193,86 +190,87 @@ type persistedDedup struct {
 }
 
 // dedupFilePrefix distinguishes index documents from analysis and job
-// documents in the shared state directory; the file name hashes the key,
+// documents in the shared state directory; the document id hashes the key,
 // which may not be filesystem-safe.
 const dedupFilePrefix = "dedup-"
 
-func (s *Service) dedupFileName(key string) string {
+// dedupDocID is the store id for a capture key's index document.
+func dedupDocID(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.stateDir, dedupFilePrefix+hex.EncodeToString(sum[:16])+".json")
+	return hex.EncodeToString(sum[:16])
 }
 
-// journalDedupLocked mirrors one entry to disk. As with mid-run job journal
-// writes there is no caller to hand an error to: a failed write costs
-// exactly-once across a restart for this one capture (the replay re-runs it
-// — at-least-once) and is surfaced via the dedup_journal_errors counter.
-// Callers must hold s.mu.
+// journalDedupLocked mirrors one entry through the store. As with mid-run
+// job journal writes there is no caller to hand an error to: a failed write
+// costs exactly-once across a restart for this one capture (the replay
+// re-runs it — at-least-once) and is surfaced via the dedup_journal_errors
+// counter. Callers must hold s.mu.
 func (s *Service) journalDedupLocked(e *dedupEntry) {
-	if s.stateDir == "" || e.pending {
+	if s.store == nil || e.pending {
 		return
 	}
 	doc := persistedDedup{Key: e.key, JobID: e.jobID, AnalysisID: e.analysisID, Seq: e.seq}
-	if err := s.writeDoc("dedup entry", s.dedupFileName(e.key), doc); err != nil {
+	body, err := encodeBodyExtras(doc, nil)
+	if err == nil {
+		err = s.persistPut(KindDedup, dedupDocID(e.key), body)
+	}
+	if err != nil {
 		s.metrics.DedupJournalErrors++
 	}
 }
 
-// removeDedupFile deletes an entry's index document (eviction, failed job).
-func (s *Service) removeDedupFile(key string) {
-	if s.stateDir == "" {
-		return
-	}
-	_ = s.fs.Remove(s.dedupFileName(key))
+// removeDedupDocLocked deletes an entry's index document (eviction, failed
+// job), with failed deletes counted and retried like job evictions. Callers
+// must hold s.mu.
+func (s *Service) removeDedupDocLocked(key string) {
+	s.deleteDocLocked(KindDedup, dedupDocID(key))
 }
 
 // loadDedup restores the journaled index, reconciling each entry against the
 // already-recovered analysis and job stores: an entry is only as good as the
 // work it points at, so entries for failed or vanished jobs (including a
-// crash between a job's terminal journal write and its index write) are
-// dropped rather than blocking the capture's retry. Must run after loadState
-// and loadJobs.
+// crash between a job's terminal journal write and its index write, and a
+// job whose corrupt journal document was salvaged away at this very startup)
+// are dropped rather than blocking the capture's retry. Must run after
+// loadState and loadJobs.
 func (s *Service) loadDedup() error {
-	if s.stateDir == "" {
+	if s.store == nil {
 		return nil
 	}
-	entries, err := s.fs.ReadDir(s.stateDir)
+	docs, err := s.store.List(KindDedup)
 	if err != nil {
-		return fmt.Errorf("cloud: reading state dir: %w", err)
+		return err
 	}
-	for _, f := range entries {
-		name := f.Name()
-		if f.IsDir() || !strings.HasPrefix(name, dedupFilePrefix) || !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
-		if err != nil {
-			return fmt.Errorf("cloud: reading %s: %w", name, err)
-		}
+	for _, d := range docs {
 		var doc persistedDedup
-		if err := json.Unmarshal(data, &doc); err != nil {
-			return fmt.Errorf("cloud: decoding %s: %w", name, err)
+		_, reason := decodeStoredDoc(d, &doc, nil)
+		if reason == nil && doc.Key == "" {
+			reason = errors.New("document lacks a key")
 		}
-		if doc.Key == "" {
-			return fmt.Errorf("cloud: document %s lacks a key", name)
+		if reason != nil {
+			if err := s.salvageDoc(d, reason); err != nil {
+				return err
+			}
+			continue
 		}
 		e := &dedupEntry{key: doc.Key, jobID: doc.JobID, analysisID: doc.AnalysisID, seq: doc.Seq}
 		switch {
 		case e.analysisID != "":
 			if _, ok := s.analyses[e.analysisID]; !ok {
-				s.removeDedupFile(e.key)
+				s.removeDedupDocLocked(e.key)
 				continue
 			}
 		case e.jobID != "":
 			qj, live := s.jobs[e.jobID]
 			if !live || qj.Status == JobFailed || qj.Status == JobPoisoned {
-				s.removeDedupFile(e.key)
+				s.removeDedupDocLocked(e.key)
 				continue
 			}
 			if qj.Status == JobDone {
 				e.analysisID = qj.AnalysisID
 			}
 		default:
-			s.removeDedupFile(e.key)
+			s.removeDedupDocLocked(e.key)
 			continue
 		}
 		s.dedup[e.key] = e

@@ -1,0 +1,187 @@
+package cloud
+
+// DiskStore: the on-disk Store implementation — the flat state directory of
+// one JSON document per analysis ("an-N.json"), job ("job-N.json"), and
+// dedup entry ("dedup-<hash>.json") that the service has journaled to since
+// PR 2, now behind the Store interface and hardened for bad disks:
+//
+//   - Every Put commits fsync-then-rename: the envelope is written to
+//     "<name>.tmp", flushed to stable storage (SyncFS when the FS seam
+//     provides it), then renamed over the target. A crash at any instant
+//     leaves either the old document or the new one, never a torn mix,
+//     and never a renamed document whose bytes are still in the page cache.
+//   - List never fails the whole directory for one bad file: a document
+//     that cannot be read is returned with Document.Err set, and the
+//     loader decides — salvage (quarantine) or strict refusal.
+//   - Quarantine moves a rejected document into "<dir>/corrupt/",
+//     preserving its bytes for forensics, so the next startup does not
+//     trip over it again.
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"medsen/internal/faultinject"
+)
+
+// corruptDirName is the quarantine subdirectory for salvaged documents.
+const corruptDirName = "corrupt"
+
+// readyProbeName is the write-probe file; the .tmp suffix keeps it out of
+// the document listings.
+const readyProbeName = ".readyz-probe.tmp"
+
+// DiskStoreConfig configures a DiskStore.
+type DiskStoreConfig struct {
+	// Dir is the state directory (created if absent).
+	Dir string
+	// FS abstracts the filesystem; nil uses the real one. Chaos tests plug
+	// a faultinject.FaultyFS here.
+	FS faultinject.FS
+}
+
+// DiskStore is the on-disk Store.
+type DiskStore struct {
+	dir string
+	fs  faultinject.FS
+}
+
+// NewDiskStore opens (creating if needed) the state directory as a Store.
+func NewDiskStore(cfg DiskStoreConfig) (*DiskStore, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("cloud: disk store needs a directory")
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultinject.OSFS{}
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o700); err != nil {
+		return nil, fmt.Errorf("cloud: creating state dir: %w", err)
+	}
+	return &DiskStore{dir: cfg.Dir, fs: cfg.FS}, nil
+}
+
+// fileName maps (kind, id) to the document file name within the state dir.
+// Job and analysis ids carry their own prefixes ("job-N", "an-N"); dedup
+// ids are key hashes that gain the "dedup-" prefix here.
+func diskFileName(kind DocKind, id string) string {
+	if kind == KindDedup {
+		return dedupFilePrefix + id + ".json"
+	}
+	return id + ".json"
+}
+
+// diskDocID is the inverse of diskFileName.
+func diskDocID(kind DocKind, name string) string {
+	id := strings.TrimSuffix(name, ".json")
+	if kind == KindDedup {
+		id = strings.TrimPrefix(id, dedupFilePrefix)
+	}
+	return id
+}
+
+// kindOfFile classifies a document file name by its prefix; analyses are
+// the unprefixed remainder.
+func kindOfFile(name string) DocKind {
+	switch {
+	case strings.HasPrefix(name, jobFilePrefix):
+		return KindJob
+	case strings.HasPrefix(name, dedupFilePrefix):
+		return KindDedup
+	}
+	return KindAnalysis
+}
+
+// writeFileDurable writes via the FS seam's fsync path when it has one.
+func (d *DiskStore) writeFileDurable(name string, data []byte) error {
+	if sf, ok := d.fs.(faultinject.SyncFS); ok {
+		return sf.WriteFileSync(name, data, 0o600)
+	}
+	return d.fs.WriteFile(name, data, 0o600)
+}
+
+// Put implements Store: fsync-then-rename under "<id>.json".
+func (d *DiskStore) Put(kind DocKind, id string, body []byte) error {
+	path := filepath.Join(d.dir, diskFileName(kind, id))
+	tmp := path + ".tmp"
+	if err := d.writeFileDurable(tmp, body); err != nil {
+		return fmt.Errorf("cloud: writing %s: %w", id, err)
+	}
+	if err := d.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cloud: committing %s: %w", id, err)
+	}
+	return nil
+}
+
+// Delete implements Store; an already-absent document is success.
+func (d *DiskStore) Delete(kind DocKind, id string) error {
+	err := d.fs.Remove(filepath.Join(d.dir, diskFileName(kind, id)))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// List implements Store: every "*.json" document of the kind, with
+// per-document read failures carried in Document.Err instead of failing
+// the listing. Foreign files (no .json suffix), temp files, and the
+// corrupt/ quarantine directory are ignored.
+func (d *DiskStore) List(kind DocKind) ([]Document, error) {
+	entries, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: reading state dir: %w", err)
+	}
+	var docs []Document
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || kindOfFile(name) != kind {
+			continue
+		}
+		doc := Document{Kind: kind, ID: diskDocID(kind, name), Name: name}
+		doc.Body, doc.Err = d.fs.ReadFile(filepath.Join(d.dir, name))
+		if doc.Err != nil {
+			doc.Body = nil
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// Quarantine implements Store: the document moves to "<dir>/corrupt/<name>",
+// out of every future listing but preserved for forensics.
+func (d *DiskStore) Quarantine(name string, _ error) error {
+	cdir := filepath.Join(d.dir, corruptDirName)
+	if err := d.fs.MkdirAll(cdir, 0o700); err != nil {
+		return fmt.Errorf("cloud: creating quarantine dir: %w", err)
+	}
+	// A document can be quarantined under a name that is already in the
+	// corrupt dir: after a salvage the id counter restarts, a fresh journal
+	// reuses the name, and a later corruption of THAT document must not
+	// overwrite the earlier evidence. Uniquify with a numeric suffix.
+	dest := name
+	for i := 1; ; i++ {
+		if _, err := d.fs.ReadFile(filepath.Join(cdir, dest)); err != nil {
+			break
+		}
+		dest = fmt.Sprintf("%s.%d", name, i)
+	}
+	if err := d.fs.Rename(filepath.Join(d.dir, name), filepath.Join(cdir, dest)); err != nil {
+		return fmt.Errorf("cloud: quarantining %s: %w", name, err)
+	}
+	return nil
+}
+
+// Probe implements Store by committing and removing a probe file.
+func (d *DiskStore) Probe() error {
+	probe := filepath.Join(d.dir, readyProbeName)
+	if err := d.fs.WriteFile(probe, []byte("ok"), 0o600); err != nil {
+		return err
+	}
+	// Concurrent probes share the file; losing the removal race is fine.
+	if err := d.fs.Remove(probe); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}

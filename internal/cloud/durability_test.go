@@ -750,22 +750,40 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 }
 
-// TestLoadJobsRejectsCorruptJournal mirrors the analysis-store corruption
-// test for the job journal.
-func TestLoadJobsRejectsCorruptJournal(t *testing.T) {
+// TestLoadJobsSalvagesCorruptJournal mirrors the analysis-store salvage test
+// for the job journal: torn and id-less documents are quarantined (counted
+// per document), healthy ones load, and strict mode still refuses both.
+func TestLoadJobsSalvagesCorruptJournal(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "job-1.json"), []byte("{broken"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewService(ServiceConfig{StateDir: dir}); err == nil {
-		t.Fatal("expected error for corrupt job journal")
-	}
-	dir2 := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir2, "job-1.json"), []byte(`{"status":"queued"}`), 0o600); err != nil {
+	// Decodes fine but carries no id — semantic corruption salvages too.
+	if err := os.WriteFile(filepath.Join(dir, "job-2.json"), []byte(`{"status":"queued"}`), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewService(ServiceConfig{StateDir: dir2}); err == nil {
-		t.Fatal("expected error for journal document without an id")
+	svc, err := NewService(ServiceConfig{StateDir: dir})
+	if err != nil {
+		t.Fatalf("salvage mode should start over a corrupt journal: %v", err)
+	}
+	defer svc.Close()
+	if got := svc.Snapshot().StoreSalvaged; got != 2 {
+		t.Fatalf("StoreSalvaged = %d, want 2", got)
+	}
+	for _, name := range []string{"job-1.json", "job-2.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "corrupt", name)); err != nil {
+			t.Fatalf("%s not quarantined: %v", name, err)
+		}
+	}
+
+	for _, doc := range []string{"{broken", `{"status":"queued"}`} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "job-1.json"), []byte(doc), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewService(ServiceConfig{StateDir: dir, StrictLoad: true}); err == nil {
+			t.Fatalf("strict mode should refuse journal document %q", doc)
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ const (
 	CodePermissionDenied  = "permission_denied"
 	CodeLeaseLost         = "lease_lost"
 	CodePoisoned          = "poisoned"
+	CodeDegraded          = "degraded"
 	CodeInternal          = "internal"
 )
 
@@ -82,6 +83,10 @@ var (
 	// ErrPoisoned is a job quarantined after exhausting its attempt budget:
 	// terminal, never retried, full attempt history in the job record.
 	ErrPoisoned = errors.New("cloud: job poisoned")
+	// ErrDegraded is a mutating request refused because durable storage is
+	// failing writes and the service is read-only (HTTP 503). Retry after
+	// APIError.RetryAfter — the service heals itself when the disk does.
+	ErrDegraded = errors.New("cloud: service degraded read-only")
 	// ErrInternal is a server-side failure.
 	ErrInternal = errors.New("cloud: internal error")
 )
@@ -103,6 +108,7 @@ var codeSentinels = map[string]error{
 	CodePermissionDenied:  ErrPermissionDenied,
 	CodeLeaseLost:         ErrLeaseLost,
 	CodePoisoned:          ErrPoisoned,
+	CodeDegraded:          ErrDegraded,
 	CodeInternal:          ErrInternal,
 }
 

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -134,6 +135,9 @@ type queuedJob struct {
 	// doneAt is when the job reached a terminal status; retention evicts
 	// terminal records doneAt+TTL after it.
 	doneAt time.Time
+	// extra preserves journal-document fields written by a newer binary, so
+	// re-journaling this record never strips them (document.go).
+	extra map[string]json.RawMessage
 }
 
 // Default retention bounds for terminal job records. Without them the jobs
@@ -186,6 +190,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.jobWG.Wait()
 	s.stopReaper()
+	s.stopStoreRecovery()
 }
 
 // Shutdown stops accepting submissions and waits for in-flight analyses to
@@ -203,6 +208,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.stopReaper()
+	s.stopStoreRecovery()
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()
@@ -424,6 +430,10 @@ func (s *Service) failJob(qj *queuedJob, code string, err error) {
 // so they stay gone across restarts. Queued and running jobs are never
 // evicted. Callers must hold s.mu.
 func (s *Service) evictJobsLocked() {
+	// Deletes that failed on earlier sweeps get their re-attempt first, so
+	// the on-disk journal converges back to the in-memory retention state
+	// once the volume heals.
+	s.retryPendingDeletesLocked()
 	if s.jobTTL <= 0 && s.maxTerminalJobs <= 0 {
 		return
 	}
@@ -453,7 +463,7 @@ func (s *Service) evictJobsLocked() {
 	}
 	for _, qj := range terminal[:evict] {
 		delete(s.jobs, qj.ID)
-		s.removeJobFile(qj.ID)
+		s.deleteDocLocked(KindJob, qj.ID)
 		s.metrics.JobsEvicted++
 	}
 }

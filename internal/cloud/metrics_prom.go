@@ -46,6 +46,8 @@ func writeMetricsProm(w io.Writer, m Metrics) error {
 	pw.Counter("medsen_jobs_evicted_total", "Terminal job records dropped by retention.", float64(m.JobsEvicted))
 	pw.Counter("medsen_jobs_recovered_total", "Journaled jobs re-enqueued at startup.", float64(m.JobsRecovered))
 	pw.Counter("medsen_job_journal_errors_total", "Mid-run job journal writes that failed.", float64(m.JobJournalErrors))
+	pw.Counter("medsen_job_evict_errors_total", "Document deletes that failed and await the next sweep's retry.", float64(m.JobEvictErrors))
+	pw.Counter("medsen_store_salvaged_total", "Corrupt documents quarantined at load.", float64(m.StoreSalvaged))
 	pw.Counter("medsen_lease_expirations_total", "Worker leases that expired without a heartbeat.", float64(m.LeaseExpirations))
 	pw.Counter("medsen_jobs_reclaimed_total", "Expired-lease jobs re-enqueued by the reaper.", float64(m.JobsReclaimed))
 	pw.Counter("medsen_jobs_poisoned_total", "Jobs quarantined after exhausting their attempt budget.", float64(m.JobsPoisoned))
@@ -66,6 +68,7 @@ func writeMetricsProm(w io.Writer, m Metrics) error {
 	pw.Gauge("medsen_queue_wait_seconds", "Estimated queue wait for a newly enqueued job.", float64(m.QueueWaitMS)/1e3)
 	pw.Gauge("medsen_audit_records", "Records in the audit chain.", float64(m.AuditRecords))
 	pw.Gauge("medsen_workers_active", "Worker daemons seen on the workqueue API within two lease TTLs.", float64(m.WorkersActive))
+	pw.Gauge("medsen_store_degraded", "1 while the service is read-only because durable writes are failing.", float64(m.StoreDegraded))
 
 	return pw.Err()
 }

@@ -29,6 +29,8 @@ func TestPrometheusMetricNamesArePinned(t *testing.T) {
 		"medsen_jobs_evicted_total":         promexp.TypeCounter,
 		"medsen_jobs_recovered_total":       promexp.TypeCounter,
 		"medsen_job_journal_errors_total":   promexp.TypeCounter,
+		"medsen_job_evict_errors_total":     promexp.TypeCounter,
+		"medsen_store_salvaged_total":       promexp.TypeCounter,
 		"medsen_lease_expirations_total":    promexp.TypeCounter,
 		"medsen_jobs_reclaimed_total":       promexp.TypeCounter,
 		"medsen_jobs_poisoned_total":        promexp.TypeCounter,
@@ -46,6 +48,7 @@ func TestPrometheusMetricNamesArePinned(t *testing.T) {
 		"medsen_queue_wait_seconds":         promexp.TypeGauge,
 		"medsen_audit_records":              promexp.TypeGauge,
 		"medsen_workers_active":             promexp.TypeGauge,
+		"medsen_store_degraded":             promexp.TypeGauge,
 	}
 	var buf bytes.Buffer
 	if err := writeMetricsProm(&buf, Metrics{}); err != nil {
@@ -83,11 +86,13 @@ func TestPrometheusValuesMatchSnapshot(t *testing.T) {
 		Uploads: 7, UploadErrors: 1, Authentications: 3, AuthAccepted: 2,
 		JobsEnqueued: 11, JobsRejected: 4, JobsCompleted: 9, JobsFailed: 2,
 		JobsEvicted: 5, JobsRecovered: 1, JobJournalErrors: 1,
+		JobEvictErrors: 3, StoreSalvaged: 2,
 		LeaseExpirations: 4, JobsReclaimed: 3, JobsPoisoned: 2,
 		RateLimited: 13, Shed: 6, DedupHits: 8, DedupJournalErrors: 1,
 		AuthDenied: 2, PermissionDenied: 1, AuditJournalErrors: 1,
 		StoredAnalyses: 42, EnrolledUsers: 5, DedupEntries: 17,
 		QueueDepth: 3, QueueWaitMS: 1500, AuditRecords: 99, WorkersActive: 2,
+		StoreDegraded: 1,
 	}
 	var buf bytes.Buffer
 	if err := writeMetricsProm(&buf, m); err != nil {
@@ -109,6 +114,9 @@ func TestPrometheusValuesMatchSnapshot(t *testing.T) {
 		"medsen_jobs_poisoned_total":     2,
 		"medsen_lease_expirations_total": 4,
 		"medsen_workers_active":          2,
+		"medsen_job_evict_errors_total":  3,
+		"medsen_store_salvaged_total":    2,
+		"medsen_store_degraded":          1,
 	}
 	for name, wantV := range checks {
 		f := fams[name]

@@ -8,12 +8,11 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medsen/internal/audit"
@@ -47,6 +46,12 @@ type Service struct {
 	// fs is the state-directory filesystem seam (OSFS in production,
 	// faultinject.FaultyFS in chaos tests).
 	fs faultinject.FS
+	// store is the durable document backend (storage.go): a DiskStore over
+	// the state directory, a MemStore, or nil for a fully ephemeral service.
+	store Store
+	// strictLoad makes a corrupt document refuse startup instead of being
+	// quarantined (-salvage=off).
+	strictLoad bool
 	// jobTimeout bounds one async analysis execution (0 = none).
 	jobTimeout time.Duration
 	// analyze runs the DSP pipeline; tests override it to inject panics
@@ -111,6 +116,29 @@ type Service struct {
 	reaperStop      chan struct{}
 	reaperStopped   bool
 	reaperWG        sync.WaitGroup
+
+	// Read-only degraded mode (degraded.go). degraded is the hot-path flag
+	// (handlers only load it); deg holds the since/reason detail under its
+	// own small mutex — never s.mu, because degraded-mode transitions happen
+	// inside persist calls that already hold s.mu. auditErrs counts audit
+	// appends that failed during those transitions (folded into
+	// AuditJournalErrors at snapshot time, again because s.mu is taken).
+	// storeRecovery is the write-probe interval; degStop/degStopped/degWG
+	// manage the recovery goroutine like reaperStop does the reaper.
+	degraded atomic.Bool
+	deg      struct {
+		mu     sync.Mutex
+		since  time.Time
+		reason string
+	}
+	auditErrs     atomic.Int64
+	storeRecovery time.Duration
+	degStop       chan struct{}
+	degStopped    bool
+	degWG         sync.WaitGroup
+	// pendingDeletes remembers documents whose Delete failed, for re-attempt
+	// on the next retention sweep (store.go deleteDocLocked).
+	pendingDeletes map[DocKind]map[string]bool
 }
 
 type storedAnalysis struct {
@@ -120,6 +148,9 @@ type storedAnalysis struct {
 	// submitted anonymously or by a subject-less clinic/admin key); RBAC
 	// scopes owner-role reads to it.
 	Owner string
+	// extra preserves body fields written by a newer binary, so re-persisting
+	// this record never strips them (document.go).
+	extra map[string]json.RawMessage
 }
 
 // ServiceConfig bundles the service dependencies.
@@ -138,6 +169,16 @@ type ServiceConfig struct {
 	// StateDir, when non-empty, persists every analysis to disk so the
 	// store survives restarts (one JSON document per analysis).
 	StateDir string
+	// Store overrides the durable backend directly (MemStore, a future
+	// SQL/KV store). nil with a StateDir builds a DiskStore over it; nil
+	// without one leaves the service ephemeral.
+	Store Store
+	// StrictLoad restores the pre-salvage behavior: any corrupt document in
+	// the store refuses startup instead of being quarantined.
+	StrictLoad bool
+	// StoreRecoveryInterval is how often a degraded service probes the store
+	// for recovery (0 → 1 s, negative → no automatic recovery probing).
+	StoreRecoveryInterval time.Duration
 	// Workers is the async job worker pool size (0 → GOMAXPROCS). Each
 	// worker runs one analysis at a time; the pipeline inside it is
 	// further parallelized per AnalysisConfig.Workers.
@@ -272,6 +313,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.FS == nil {
 		cfg.FS = faultinject.OSFS{}
 	}
+	if cfg.Store == nil && cfg.StateDir != "" {
+		store, err := NewDiskStore(DiskStoreConfig{Dir: cfg.StateDir, FS: cfg.FS})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+	}
+	if cfg.StoreRecoveryInterval == 0 {
+		cfg.StoreRecoveryInterval = defaultStoreRecoveryInterval
+	}
 	s := &Service{
 		cfg:             cfg.Analysis,
 		model:           cfg.Model,
@@ -281,6 +332,9 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		workers:         cfg.Workers,
 		queueDepth:      cfg.QueueDepth,
 		fs:              cfg.FS,
+		store:           cfg.Store,
+		strictLoad:      cfg.StrictLoad,
+		storeRecovery:   cfg.StoreRecoveryInterval,
 		jobTimeout:      cfg.JobTimeout,
 		maxQueueWait:    cfg.MaxQueueWait,
 		uploadLimit:     maxUploadBytes,
@@ -301,6 +355,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		workerSeen:      make(map[string]time.Time),
 		jobStop:         make(chan struct{}),
 		reaperStop:      make(chan struct{}),
+		degStop:         make(chan struct{}),
 	}
 	if cfg.RateLimit > 0 {
 		// The closure routes through s.now so tests that pin the service
@@ -332,6 +387,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		s.startJobWorkers()
 	}
 	s.startReaper()
+	s.startStoreRecovery()
 	return s, nil
 }
 
@@ -386,9 +442,9 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleReady is the readiness probe: /healthz answers "the process is
 // alive", /readyz answers "send this instance traffic". Not ready while
-// draining (Close/Shutdown ran — submissions would bounce with 503 anyway)
-// or while the journal directory is unwritable (an accepted upload could
-// not be made durable).
+// draining (Close/Shutdown ran — submissions would bounce with 503 anyway),
+// while the store is in read-only degraded mode, or while the journal
+// directory is unwritable (an accepted upload could not be made durable).
 func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	draining := s.jobsClosed
@@ -398,7 +454,12 @@ func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 			map[string]any{"ready": false, "reason": "draining"})
 		return
 	}
-	if err := s.probeStateDir(); err != nil {
+	if s.degraded.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "store degraded: " + s.degradedReason()})
+		return
+	}
+	if err := s.storeProbe(); err != nil {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"ready": false, "reason": fmt.Sprintf("journal unwritable: %v", err)})
 		return
@@ -435,7 +496,7 @@ var (
 )
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if !s.admitSubmit(w, r) {
+	if !s.admitMutation(w) || !s.admitSubmit(w, r) {
 		return
 	}
 	p := s.principal(r)
@@ -583,27 +644,14 @@ func (s *Service) runAnalysis(payload []byte) (report Report, code string, err e
 	return report, "", nil
 }
 
-// probeStateDir verifies the journal directory accepts writes by committing
-// and removing a probe file. Without a state dir the service is always
-// ready.
-func (s *Service) probeStateDir() error {
-	if s.stateDir == "" {
+// storeProbe verifies the durable backend accepts writes. Without a backend
+// the service is always ready.
+func (s *Service) storeProbe() error {
+	if s.store == nil {
 		return nil
 	}
-	probe := filepath.Join(s.stateDir, readyProbeName)
-	if err := s.fs.WriteFile(probe, []byte("ok"), 0o600); err != nil {
-		return err
-	}
-	// Concurrent probes share the file; losing the removal race is fine.
-	if err := s.fs.Remove(probe); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return err
-	}
-	return nil
+	return s.store.Probe()
 }
-
-// readyProbeName is the /readyz probe file; the .tmp suffix keeps it out of
-// the journal loaders' document scans.
-const readyProbeName = ".readyz-probe.tmp"
 
 // storeReportLocked assigns an analysis id, stores and persists the report
 // under its owner principal, and counts the upload. Persistence happens
@@ -714,6 +762,11 @@ func (s *Service) handleGetAnalysis(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleAuthenticate(w http.ResponseWriter, r *http.Request) {
+	// Authentication links an identity to the analysis — a durable mutation —
+	// so a degraded store answers 503 before any work runs.
+	if !s.admitMutation(w) {
+		return
+	}
 	id := r.PathValue("id")
 	s.mu.RLock()
 	stored, ok := s.analyses[id]
@@ -884,10 +937,14 @@ type Metrics struct {
 	// JobsEvicted counts terminal job records dropped by retention;
 	// JobsRecovered counts journaled jobs re-enqueued at startup;
 	// JobJournalErrors counts mid-run journal writes that failed (the job
-	// still completes, but a crash would rerun it).
+	// still completes, but a crash would rerun it); JobEvictErrors counts
+	// document deletes that failed and were queued for the next sweep's
+	// retry; StoreSalvaged counts corrupt documents quarantined at load.
 	JobsEvicted      int64 `json:"jobs_evicted"`
 	JobsRecovered    int64 `json:"jobs_recovered"`
 	JobJournalErrors int64 `json:"job_journal_errors"`
+	JobEvictErrors   int64 `json:"job_evict_errors"`
+	StoreSalvaged    int64 `json:"store_salvaged"`
 	// Lease-queue counters (workqueue.go): leases that expired without a
 	// heartbeat, expired jobs re-enqueued by the reaper, and jobs
 	// quarantined after exhausting their attempt budget.
@@ -919,6 +976,9 @@ type Metrics struct {
 	// WorkersActive counts distinct worker daemons seen on the workqueue
 	// API within the last two lease TTLs.
 	WorkersActive int `json:"workers_active"`
+	// StoreDegraded is 1 while the service is in read-only degraded mode
+	// (durable writes failing), 0 otherwise.
+	StoreDegraded int `json:"store_degraded"`
 }
 
 // Snapshot returns the current counters.
@@ -932,6 +992,12 @@ func (s *Service) Snapshot() Metrics {
 	m.QueueDepth = len(s.jobCh) + len(s.requeue)
 	m.QueueWaitMS = s.estQueueWaitLocked().Milliseconds()
 	m.WorkersActive = s.activeWorkersLocked()
+	if s.degraded.Load() {
+		m.StoreDegraded = 1
+	}
+	// Degraded-mode transitions audit without s.mu (they fire inside persist
+	// calls already holding it); their append failures are folded in here.
+	m.AuditJournalErrors += s.auditErrs.Load()
 	if s.auditLog != nil {
 		m.AuditRecords = s.auditLog.Len()
 	}

@@ -158,6 +158,16 @@ func (f *failingWriteFS) WriteFile(name string, data []byte, perm fs.FileMode) e
 	return f.OSFS.WriteFile(name, data, perm)
 }
 
+// WriteFileSync must fail alongside WriteFile: the embedded OSFS satisfies
+// faultinject.SyncFS, and the disk store prefers the fsync path, so an
+// unarmed override here would let durable writes sneak past the fault.
+func (f *failingWriteFS) WriteFileSync(name string, data []byte, perm fs.FileMode) error {
+	if f.fail.Load() {
+		return errors.New("injected write failure")
+	}
+	return f.OSFS.WriteFileSync(name, data, perm)
+}
+
 // TestAuthenticatePersistFailureLeavesNoGhostLink is the regression test for
 // the persist-then-commit violation in handleAuthenticate: the old code
 // linked the analysis to the user in memory first and persisted second, so a

@@ -1,0 +1,153 @@
+package cloud
+
+// The Store interface: the persistence seam under the analysis store, the
+// job journal, and the dedup index (ROADMAP item 1). The Service keeps its
+// in-memory maps as the serving path and mirrors every mutation through a
+// Store, so the backend can change — MemStore for diskless deployments and
+// restart tests, DiskStore for the journaled state directory, a SQL/KV
+// backend later — without touching the handlers.
+//
+// A Store is a durable key-value space of opaque byte documents addressed by
+// (kind, id). Document contents are owned by the layer above: the Service
+// writes checksummed envelopes (document.go) and decides what a corrupt
+// document means; the Store only moves bytes, reports per-document read
+// failures, and quarantines documents the loader rejects.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DocKind partitions the document space: one analysis report, one async-job
+// journal record, or one dedup-index entry per document.
+type DocKind string
+
+// Document kinds.
+const (
+	KindAnalysis DocKind = "analysis"
+	KindJob      DocKind = "job"
+	KindDedup    DocKind = "dedup"
+)
+
+// Document is one stored record as a List returns it: the raw stored bytes
+// plus the backend locator (Name) the loader passes back to Quarantine when
+// the document turns out to be invalid.
+type Document struct {
+	Kind DocKind
+	// ID is the document's address within its kind ("an-3", "job-7", a
+	// dedup key hash).
+	ID string
+	// Name is the backend-specific locator (the file name on disk), unique
+	// across kinds; Quarantine takes it so even a document whose body is
+	// unreadable — and whose id is therefore unknown — can be set aside.
+	Name string
+	// Body is the raw stored bytes; nil when Err is non-nil.
+	Body []byte
+	// Err is a per-document read failure (I/O error, injected fault). The
+	// listing itself still succeeds: an unreadable document is the loader's
+	// salvage decision, not a reason to refuse every other document.
+	Err error
+}
+
+// Store is the durable backend. Implementations must be safe for concurrent
+// use; Put must be atomic (a reader of the backend never observes a torn
+// document under the same id).
+type Store interface {
+	// Put durably commits body under (kind, id), replacing any previous
+	// version.
+	Put(kind DocKind, id string, body []byte) error
+	// Delete removes (kind, id). Deleting an absent document is not an
+	// error — eviction sweeps retry deletes and must converge.
+	Delete(kind DocKind, id string) error
+	// List returns every document of the kind, including per-document read
+	// failures via Document.Err.
+	List(kind DocKind) ([]Document, error)
+	// Quarantine sets the named document aside so the next List no longer
+	// returns it, preserving its bytes where possible for forensics.
+	Quarantine(name string, reason error) error
+	// Probe verifies the backend currently accepts writes; the readiness
+	// and degraded-mode machinery call it.
+	Probe() error
+}
+
+// MemStore is the in-memory Store: a restartable map with no durability.
+// A Service over a MemStore persists nothing across process death, but a
+// test (or an embedded deployment) can hand the same MemStore to successive
+// Services and exercise the full load/salvage path without a disk.
+type MemStore struct {
+	mu   sync.Mutex
+	docs map[DocKind]map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{docs: make(map[DocKind]map[string][]byte)}
+}
+
+// memDocName is the MemStore locator: "kind/id".
+func memDocName(kind DocKind, id string) string { return string(kind) + "/" + id }
+
+// Put implements Store.
+func (m *MemStore) Put(kind DocKind, id string, body []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byID := m.docs[kind]
+	if byID == nil {
+		byID = make(map[string][]byte)
+		m.docs[kind] = byID
+	}
+	byID[id] = append([]byte(nil), body...)
+	return nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(kind DocKind, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.docs[kind], id)
+	return nil
+}
+
+// List implements Store, returning documents in id order for deterministic
+// recovery.
+func (m *MemStore) List(kind DocKind) ([]Document, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byID := m.docs[kind]
+	docs := make([]Document, 0, len(byID))
+	for id, body := range byID {
+		docs = append(docs, Document{
+			Kind: kind,
+			ID:   id,
+			Name: memDocName(kind, id),
+			Body: append([]byte(nil), body...),
+		})
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	return docs, nil
+}
+
+// Quarantine implements Store by dropping the document — memory keeps no
+// corrupt/ directory to preserve bytes in.
+func (m *MemStore) Quarantine(name string, _ error) error {
+	kind, id, ok := strings.Cut(name, "/")
+	if !ok {
+		return fmt.Errorf("cloud: malformed memstore document name %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.docs[DocKind(kind)], id)
+	return nil
+}
+
+// Probe implements Store; memory always accepts writes.
+func (m *MemStore) Probe() error { return nil }
+
+// Len reports how many documents of the kind are stored (test helper).
+func (m *MemStore) Len(kind DocKind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.docs[kind])
+}

@@ -4,23 +4,30 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// Disk persistence for the analysis store and the async job journal. The
-// paper's deployment stores results in the cloud "for a later access by the
+// Persistence for the analysis store and the async job journal. The paper's
+// deployment stores results in the cloud "for a later access by the
 // patient's practitioner"; a service restart must not lose them — and an
 // *accepted* upload must not be lost either: the patient cannot re-bleed, so
 // every async job is journaled (payload included) from the moment the queue
 // takes it until it reaches a terminal state. Persistence is write-through:
-// the in-memory maps remain the serving path, every mutation is mirrored to
-// one JSON document per analysis or job under the state directory.
+// the in-memory maps remain the serving path, every mutation is mirrored as
+// one checksummed document per analysis, job, or dedup entry through the
+// Store backend (storage.go) — DiskStore under a state directory, MemStore
+// or nothing otherwise.
+//
+// Loading is salvage-not-crash: a document that is unreadable, torn, fails
+// its checksum, or lacks its identity is quarantined (with an audit event
+// and the store_salvaged counter) and startup continues with every healthy
+// document — one bad sector must not take the whole diagnostic record
+// offline. StrictLoad restores the old refuse-to-start behavior.
 
-// persistedAnalysis is the on-disk document.
+// persistedAnalysis is the persisted document body.
 type persistedAnalysis struct {
 	ID     string `json:"id"`
 	UserID string `json:"user_id,omitempty"`
@@ -28,41 +35,70 @@ type persistedAnalysis struct {
 	Report Report `json:"report"`
 }
 
-// analysisFileName returns the document path for an analysis id.
-func (s *Service) analysisFileName(id string) string {
-	return filepath.Join(s.stateDir, id+".json")
-}
-
-// persistAnalysis mirrors one analysis to disk (no-op without a state dir).
-// Callers must hold s.mu.
+// persistAnalysis mirrors one analysis through the store (no-op without a
+// backend). Callers must hold s.mu.
 func (s *Service) persistAnalysis(id string, stored *storedAnalysis) error {
-	if s.stateDir == "" {
+	if s.store == nil {
 		return nil
 	}
 	doc := persistedAnalysis{ID: id, UserID: stored.UserID, Owner: stored.Owner, Report: stored.Report}
-	return s.writeDoc(id, s.analysisFileName(id), doc)
-}
-
-// writeDoc commits one JSON document atomically (write temp, rename).
-func (s *Service) writeDoc(id, path string, doc any) error {
-	data, err := json.Marshal(doc)
+	body, err := encodeBodyExtras(doc, stored.extra)
 	if err != nil {
 		return fmt.Errorf("cloud: encoding %s: %w", id, err)
 	}
-	tmp := path + ".tmp"
-	if err := s.fs.WriteFile(tmp, data, 0o600); err != nil {
-		return fmt.Errorf("cloud: writing %s: %w", id, err)
+	return s.persistPut(KindAnalysis, id, body)
+}
+
+// persistPut wraps a document body in the checksummed envelope, commits it
+// through the store, and feeds the degraded-mode tracker with the outcome
+// (degraded.go): a write failure confirmed by a probe flips the service
+// read-only, a success heals it.
+func (s *Service) persistPut(kind DocKind, id string, body []byte) error {
+	env, err := encodeEnvelope(kind, id, body)
+	if err != nil {
+		return fmt.Errorf("cloud: encoding %s: %w", id, err)
 	}
-	if err := s.fs.Rename(tmp, path); err != nil {
-		return fmt.Errorf("cloud: committing %s: %w", id, err)
+	err = s.store.Put(kind, id, env)
+	s.noteStoreWrite(err)
+	return err
+}
+
+// decodeStoredDoc unwraps one listed document into its typed record,
+// returning the unknown body fields to preserve across a re-persist.
+// Every failure mode — unreadable bytes, torn JSON, checksum mismatch, an
+// envelope filed under the wrong kind or id — funnels into one reason the
+// loader salvages (or, in strict mode, refuses) on.
+func decodeStoredDoc(d Document, v any, known map[string]bool) (map[string]json.RawMessage, error) {
+	if d.Err != nil {
+		return nil, fmt.Errorf("unreadable document: %w", d.Err)
 	}
+	body, _, err := decodeEnvelope(d.Body, d.Kind, d.ID)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBodyExtras(body, v, known)
+}
+
+// salvageDoc handles one rejected document at load time. Salvage mode (the
+// default) quarantines it — audited, counted — and startup continues on the
+// healthy remainder; strict mode (-salvage=off) refuses to start, exactly
+// the old behavior.
+func (s *Service) salvageDoc(d Document, reason error) error {
+	if s.strictLoad {
+		return fmt.Errorf("cloud: document %s: %v (strict mode refuses corrupt state; restart with salvage enabled to quarantine it)", d.Name, reason)
+	}
+	if err := s.store.Quarantine(d.Name, reason); err != nil {
+		return err
+	}
+	s.metrics.StoreSalvaged++
+	s.auditStoreEvent("store.salvage", d.Name, reason.Error())
 	return nil
 }
 
-// persistedJob is the on-disk journal document for one async job. The
-// payload rides along until the job is terminal, so queued and running jobs
-// can be re-run after a crash; terminal documents keep only the outcome a
-// polling client needs.
+// persistedJob is the journal document body for one async job. The payload
+// rides along until the job is terminal, so queued and running jobs can be
+// re-run after a crash; terminal documents keep only the outcome a polling
+// client needs.
 type persistedJob struct {
 	ID         string    `json:"id"`
 	Status     JobStatus `json:"status"`
@@ -95,16 +131,11 @@ type persistedJob struct {
 // in the shared state directory (job ids are "job-N", analyses "an-N").
 const jobFilePrefix = "job-"
 
-// jobFileName returns the journal path for a job id.
-func (s *Service) jobFileName(id string) string {
-	return filepath.Join(s.stateDir, id+".json")
-}
-
-// persistJob journals one job's current state (no-op without a state dir).
+// persistJob journals one job's current state (no-op without a backend).
 // payload is written only while the job is non-terminal. Callers must hold
 // s.mu.
 func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
-	if s.stateDir == "" {
+	if s.store == nil {
 		return nil
 	}
 	doc := persistedJob{
@@ -131,7 +162,11 @@ func (s *Service) persistJob(qj *queuedJob, payload []byte) error {
 	if !qj.Status.Terminal() {
 		doc.Payload = payload
 	}
-	return s.writeDoc(qj.ID, s.jobFileName(qj.ID), doc)
+	body, err := encodeBodyExtras(doc, qj.extra)
+	if err != nil {
+		return fmt.Errorf("cloud: encoding %s: %w", qj.ID, err)
+	}
+	return s.persistPut(KindJob, qj.ID, body)
 }
 
 // journalJobLocked is persistJob for mid-run transitions, where no HTTP
@@ -145,42 +180,74 @@ func (s *Service) journalJobLocked(qj *queuedJob, payload []byte) {
 	}
 }
 
-// removeJobFile deletes a job's journal document (eviction).
-func (s *Service) removeJobFile(id string) {
-	if s.stateDir == "" {
+// deleteDocLocked removes a document through the store. A failed delete is
+// counted (job_evict_errors) and remembered for re-attempt on the next
+// retention sweep, so a transiently read-only volume cannot leak terminal
+// records forever. Callers must hold s.mu.
+func (s *Service) deleteDocLocked(kind DocKind, id string) {
+	if s.store == nil {
 		return
 	}
-	_ = s.fs.Remove(s.jobFileName(id))
+	if err := s.store.Delete(kind, id); err != nil {
+		s.metrics.JobEvictErrors++
+		if s.pendingDeletes == nil {
+			s.pendingDeletes = make(map[DocKind]map[string]bool)
+		}
+		if s.pendingDeletes[kind] == nil {
+			s.pendingDeletes[kind] = make(map[string]bool)
+		}
+		s.pendingDeletes[kind][id] = true
+		return
+	}
+	delete(s.pendingDeletes[kind], id)
+}
+
+// retryPendingDeletesLocked re-attempts earlier failed deletes. Runs at the
+// top of every retention sweep; while the store is degraded the disk is
+// known bad, so the retry waits for recovery instead of burning a syscall
+// per request. The first failure aborts the sweep (counted once) — the
+// volume is still refusing, the rest would fail the same way. Callers must
+// hold s.mu.
+func (s *Service) retryPendingDeletesLocked() {
+	if s.store == nil || s.degraded.Load() {
+		return
+	}
+	for kind, ids := range s.pendingDeletes {
+		for id := range ids {
+			if err := s.store.Delete(kind, id); err != nil {
+				s.metrics.JobEvictErrors++
+				return
+			}
+			delete(ids, id)
+		}
+	}
 }
 
 // loadJobs restores the job journal: terminal records come back for polling
 // clients; queued and running jobs are returned as the pending id list the
 // caller re-enqueues (a job that was mid-analysis when the process died
 // reruns from its journaled payload). It also advances the job id counter
-// past every persisted document.
+// past every persisted document. Corrupt documents are salvaged (or, in
+// strict mode, refuse startup).
 func (s *Service) loadJobs() (pending []string, err error) {
-	if s.stateDir == "" {
+	if s.store == nil {
 		return nil, nil
 	}
-	entries, err := s.fs.ReadDir(s.stateDir)
+	docs, err := s.store.List(KindJob)
 	if err != nil {
-		return nil, fmt.Errorf("cloud: reading state dir: %w", err)
+		return nil, err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, jobFilePrefix) || !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
-		if err != nil {
-			return nil, fmt.Errorf("cloud: reading %s: %w", name, err)
-		}
+	for _, d := range docs {
 		var doc persistedJob
-		if err := json.Unmarshal(data, &doc); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", name, err)
+		extra, reason := decodeStoredDoc(d, &doc, jobKnownKeys)
+		if reason == nil && doc.ID == "" {
+			reason = errors.New("document lacks an id")
 		}
-		if doc.ID == "" {
-			return nil, fmt.Errorf("cloud: document %s lacks an id", name)
+		if reason != nil {
+			if err := s.salvageDoc(d, reason); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		qj := &queuedJob{Job: Job{
 			ID:         doc.ID,
@@ -192,7 +259,7 @@ func (s *Service) loadJobs() (pending []string, err error) {
 			Attempts:   doc.Attempts,
 			WorkerID:   doc.WorkerID,
 			History:    doc.History,
-		}, captureKey: doc.CaptureKey}
+		}, captureKey: doc.CaptureKey, extra: extra}
 		switch {
 		case doc.Status.Terminal():
 			qj.doneAt = time.Unix(doc.DoneAtUnix, 0)
@@ -239,37 +306,30 @@ func (s *Service) loadJobs() (pending []string, err error) {
 	return pending, nil
 }
 
-// loadState restores analyses from the state directory into the in-memory
-// maps and advances the id counter past every persisted document.
+// loadState restores analyses from the store into the in-memory maps and
+// advances the id counter past every persisted document. Corrupt documents
+// are salvaged (or, in strict mode, refuse startup).
 func (s *Service) loadState() error {
-	if s.stateDir == "" {
+	if s.store == nil {
 		return nil
 	}
-	if err := s.fs.MkdirAll(s.stateDir, 0o700); err != nil {
-		return fmt.Errorf("cloud: creating state dir: %w", err)
-	}
-	entries, err := s.fs.ReadDir(s.stateDir)
+	docs, err := s.store.List(KindAnalysis)
 	if err != nil {
-		return fmt.Errorf("cloud: reading state dir: %w", err)
+		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") ||
-			strings.HasPrefix(name, jobFilePrefix) || strings.HasPrefix(name, dedupFilePrefix) {
+	for _, d := range docs {
+		var doc persistedAnalysis
+		extra, reason := decodeStoredDoc(d, &doc, analysisKnownKeys)
+		if reason == nil && doc.ID == "" {
+			reason = errors.New("document lacks an id")
+		}
+		if reason != nil {
+			if err := s.salvageDoc(d, reason); err != nil {
+				return err
+			}
 			continue
 		}
-		data, err := s.fs.ReadFile(filepath.Join(s.stateDir, name))
-		if err != nil {
-			return fmt.Errorf("cloud: reading %s: %w", name, err)
-		}
-		var doc persistedAnalysis
-		if err := json.Unmarshal(data, &doc); err != nil {
-			return fmt.Errorf("cloud: decoding %s: %w", name, err)
-		}
-		if doc.ID == "" {
-			return fmt.Errorf("cloud: document %s lacks an id", name)
-		}
-		s.analyses[doc.ID] = &storedAnalysis{Report: doc.Report, UserID: doc.UserID, Owner: doc.Owner}
+		s.analyses[doc.ID] = &storedAnalysis{Report: doc.Report, UserID: doc.UserID, Owner: doc.Owner, extra: extra}
 		if doc.UserID != "" {
 			s.byUser[doc.UserID] = append(s.byUser[doc.UserID], doc.ID)
 		}

@@ -111,13 +111,53 @@ func TestUserLinksSurviveRestart(t *testing.T) {
 	}
 }
 
-func TestLoadStateRejectsCorruptDocument(t *testing.T) {
+// TestLoadStateSalvagesCorruptDocument: a torn analysis document no longer
+// refuses startup — it is quarantined into corrupt/ (counted, and gone from
+// the next load) while the service starts on the healthy remainder. Strict
+// mode (-salvage=off) restores the old refuse-to-start behavior.
+func TestLoadStateSalvagesCorruptDocument(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "an-1.json"), []byte("{broken"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewService(ServiceConfig{StateDir: dir}); err == nil {
-		t.Fatal("expected error for corrupt state document")
+	svc, err := NewService(ServiceConfig{StateDir: dir})
+	if err != nil {
+		t.Fatalf("salvage mode should start over a corrupt document: %v", err)
+	}
+	defer svc.Close()
+	if got := svc.Snapshot().StoreSalvaged; got != 1 {
+		t.Fatalf("StoreSalvaged = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", "an-1.json")); err != nil {
+		t.Fatalf("corrupt document not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "an-1.json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt document still in state dir: %v", err)
+	}
+
+	// A fresh service over the salvaged dir sees a clean store.
+	svc2, err := NewService(ServiceConfig{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Snapshot().StoreSalvaged; got != 0 {
+		t.Fatalf("second load salvaged %d documents, want 0", got)
+	}
+}
+
+// TestLoadStateStrictModeRejectsCorruptDocument pins the -salvage=off
+// contract: any corrupt document refuses startup, nothing is quarantined.
+func TestLoadStateStrictModeRejectsCorruptDocument(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "an-1.json"), []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(ServiceConfig{StateDir: dir, StrictLoad: true}); err == nil {
+		t.Fatal("strict mode should refuse a corrupt state document")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "an-1.json")); err != nil {
+		t.Fatalf("strict mode must leave the document in place: %v", err)
 	}
 }
 

@@ -135,6 +135,13 @@ func (s *Service) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := s.principal(r)
+	// A degraded store cannot journal the lease transition, so no work is
+	// handed out: the worker idles (granted=false) until the disk heals,
+	// exactly as when the queue is empty.
+	if s.degraded.Load() {
+		writeJSON(w, http.StatusOK, LeaseGrant{Granted: false})
+		return
+	}
 	s.mu.Lock()
 	now := s.now()
 	s.workerSeen[req.WorkerID] = now

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 )
 
@@ -195,5 +196,108 @@ func TestRoundTripperFaults(t *testing.T) {
 	resp.Body.Close()
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("reading truncated body: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestFaultyFSStickyConditions exercises the toggled disk states the
+// degraded-mode machinery runs against: a full disk fails writes and renames
+// (with a recognizable ENOSPC) but lets deletes free space, a read-only
+// remount fails every mutation, and neither consumes the seeded fault budget
+// so healing restores exactly the configured schedule.
+func TestFaultyFSStickyConditions(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFS(nil, FSConfig{})
+	name := filepath.Join(dir, "doc.json")
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.SetDiskFull(true)
+	if err := fsys.WriteFile(name, []byte("x"), 0o600); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write on full disk: %v, want ENOSPC", err)
+	}
+	if err := fsys.WriteFileSync(name, []byte("x"), 0o600); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sync write on full disk: %v, want ENOSPC", err)
+	}
+	if err := fsys.Rename(name, name+".x"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rename on full disk: %v, want ENOSPC", err)
+	}
+	// Deleting frees space: Remove succeeds and reads keep working.
+	if _, err := fsys.ReadFile(name); err != nil {
+		t.Fatalf("read on full disk: %v", err)
+	}
+	if err := fsys.Remove(name); err != nil {
+		t.Fatalf("remove on full disk: %v", err)
+	}
+	if fsys.Faults() != 0 {
+		t.Fatalf("sticky faults consumed the seeded budget: Faults() = %d", fsys.Faults())
+	}
+
+	fsys.SetDiskFull(false)
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); err != nil {
+		t.Fatalf("write after healing: %v", err)
+	}
+
+	fsys.SetReadOnly(true)
+	if err := fsys.WriteFile(name, []byte("x"), 0o600); !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("write on read-only disk: %v, want EROFS", err)
+	}
+	if err := fsys.Remove(name); !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("remove on read-only disk: %v, want EROFS", err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o700); !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("mkdir on read-only disk: %v, want EROFS", err)
+	}
+	if _, err := fsys.ReadFile(name); err != nil {
+		t.Fatalf("read on read-only disk: %v", err)
+	}
+	fsys.SetReadOnly(false)
+	if err := fsys.Remove(name); err != nil {
+		t.Fatalf("remove after healing: %v", err)
+	}
+}
+
+// TestFaultyFSENOSPCRate verifies the seeded out-of-space fault: recognizable
+// as ENOSPC, budget-bounded, and applied to renames as well as writes.
+func TestFaultyFSENOSPCRate(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFS(nil, FSConfig{Seed: 5, ENOSPCRate: 1, MaxFaults: 2})
+	name := filepath.Join(dir, "doc.json")
+	err := fsys.WriteFile(name, []byte("payload"), 0o600)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write: %v, want injected ENOSPC", err)
+	}
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write: %v, want injected ENOSPC", err)
+	}
+	// Budget spent: the same calls now succeed.
+	if err := fsys.WriteFile(name, []byte("payload"), 0o600); err != nil {
+		t.Fatalf("post-budget write: %v", err)
+	}
+	if err := fsys.Rename(name, name+".x"); err != nil {
+		t.Fatalf("post-budget rename: %v", err)
+	}
+}
+
+// TestFaultyFSWriteFileSync verifies the SyncFS path: the faulty wrapper
+// exposes WriteFileSync, applies the same schedule as WriteFile, and the
+// durable bytes land intact.
+func TestFaultyFSWriteFileSync(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "doc.json")
+
+	var _ SyncFS = OSFS{}
+	var _ SyncFS = &FaultyFS{}
+
+	fsys := NewFS(nil, FSConfig{Seed: 6, WriteErrRate: 1, MaxFaults: 1})
+	if err := fsys.WriteFileSync(name, []byte("payload"), 0o600); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted sync write: %v, want injected error", err)
+	}
+	if err := fsys.WriteFileSync(name, []byte("payload"), 0o600); err != nil {
+		t.Fatalf("post-budget sync write: %v", err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back: %q, %v", got, err)
 	}
 }

@@ -375,6 +375,8 @@ func diffMetrics(before, after cloud.Metrics) cloud.Metrics {
 	d.JobsEvicted -= before.JobsEvicted
 	d.JobsRecovered -= before.JobsRecovered
 	d.JobJournalErrors -= before.JobJournalErrors
+	d.JobEvictErrors -= before.JobEvictErrors
+	d.StoreSalvaged -= before.StoreSalvaged
 	d.LeaseExpirations -= before.LeaseExpirations
 	d.JobsReclaimed -= before.JobsReclaimed
 	d.JobsPoisoned -= before.JobsPoisoned
