@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare loadgen-smoke loadgen-json worker-chaos-soak disk-chaos-soak worker-loadgen-smoke fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json bench-compare bench-gate loadgen-smoke loadgen-json batch-loadgen-smoke worker-chaos-soak disk-chaos-soak worker-loadgen-smoke fuzz vet fmt experiments clean
 
 all: build test
 
@@ -27,11 +27,23 @@ bench:
 
 # Refresh the committed hot-path baseline (run on a quiet machine).
 bench-json:
-	$(GO) run ./cmd/medsen-bench -json BENCH_5.json
+	$(GO) run ./cmd/medsen-bench -json BENCH_10.json
 
 # Re-measure the hot paths and fail on a regression vs. the baseline.
 bench-compare:
-	$(GO) run ./cmd/medsen-bench -compare BENCH_5.json
+	$(GO) run ./cmd/medsen-bench -compare BENCH_10.json
+
+# Allocation gate: the blocking flavour of bench-compare. Steady-state
+# allocs/op is deterministic, so it blocks at 25% — enough headroom for
+# pool-refill amortization (a GC between iterations re-fills sync.Pool
+# arenas, and short runs weigh those one-time allocs more), while any real
+# regression (a re-boxed sort, a lost arena) is 2×+. B/op shares the
+# amortization noise (400% headroom still catches the 100×-class misses)
+# and ns/op is machine-dependent, so both are effectively advisory here
+# (bench-compare is the full check).
+bench-gate:
+	$(GO) run ./cmd/medsen-bench -compare BENCH_10.json -bench-time 200ms \
+		-threshold-allocs 25 -threshold-bytes 400 -threshold-ns 1000000
 
 # Fleet smoke: 100 simulated devices against a self-hosted service; fails on
 # any capture loss. Writes the SLO summary next to the bench baselines.
@@ -41,6 +53,13 @@ loadgen-smoke:
 # Refresh the committed fleet SLO baseline (run on a quiet machine).
 loadgen-json:
 	$(GO) run ./cmd/medsen-loadgen -self-host -devices 100 -captures 2 -dedup 0.1 -json LOADGEN_7.json
+
+# Batched-submission smoke: each device coalesces its captures into
+# /api/v1/analyses:batch requests; fails on any capture loss and reports the
+# measured amortization (captures per round trip).
+batch-loadgen-smoke:
+	$(GO) run ./cmd/medsen-loadgen -self-host -devices 20 -captures 8 -batch 8 \
+		-dedup 0.1 -capture-duration 2 -json LOADGEN_BATCH.json
 
 # Distributed-topology chaos gate: workers killed/stalled mid-job across
 # three seeds; zero capture loss, exactly one analysis per capture.

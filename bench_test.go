@@ -209,18 +209,24 @@ func BenchmarkAblationDetrend(b *testing.B) {
 
 // BenchmarkDiagnosticLocal measures the complete user-visible flow through
 // the public API (key generation, simulated acquisition, analysis,
-// decryption, diagnosis).
+// decryption, diagnosis). The device is re-seeded (recreated) outside the
+// timer before every iteration: the device's DRBG advances with each
+// diagnostic, so a device reused across iterations would draw a different
+// key schedule and particle stream every time — each iteration would measure
+// a different workload and the result would drift with b.N.
 func BenchmarkDiagnosticLocal(b *testing.B) {
 	b.ReportAllocs()
-	device, err := medsen.NewDevice(medsen.WithSeed(1))
-	if err != nil {
-		b.Fatal(err)
-	}
 	sample := medsen.NewBloodSample(10, 150)
 	analyzer := medsen.NewLocalAnalyzer()
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		device, err := medsen.NewDevice(medsen.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
 		if _, err := device.RunDiagnostic(ctx, medsen.RunConfig{
 			Sample: sample, DurationS: 30,
 		}, analyzer); err != nil {

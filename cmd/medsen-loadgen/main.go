@@ -21,13 +21,18 @@
 // report in the Prometheus text format and re-reads it through the strict
 // exposition parser, so a malformed family fails the run.
 //
+// -batch N coalesces each device's captures into POST /api/v1/analyses:batch
+// requests of up to N items — per-item idempotency keys and verdicts, one
+// HTTP round trip and one admission decision per batch — and the result
+// document reports the measured amortization (captures per round trip).
+//
 // Usage:
 //
 //	medsen-loadgen [-url http://host:8077 | -self-host] [-devices K] [-captures N]
-//	               [-seed S] [-shared] [-dedup F] [-async] [-capture-duration S]
-//	               [-api-key KEY] [-retries N] [-faults] [-rate-limit N]
-//	               [-queue-depth N] [-max-queue-wait D] [-self-host-workers N]
-//	               [-json FILE] [-prom FILE] [-v]
+//	               [-seed S] [-shared] [-dedup F] [-async | -batch N]
+//	               [-capture-duration S] [-api-key KEY] [-retries N] [-faults]
+//	               [-rate-limit N] [-queue-depth N] [-max-queue-wait D]
+//	               [-self-host-workers N] [-json FILE] [-prom FILE] [-v]
 package main
 
 import (
@@ -65,6 +70,7 @@ func run() int {
 	shared := flag.Bool("shared", true, "replay one reference capture fleet-wide under distinct idempotency keys (cheap); false synthesizes one capture per device")
 	dedupFrac := flag.Float64("dedup", 0, "fraction of submissions re-sending the device's previous idempotency key (simulated retransmits; must dedup server-side)")
 	asyncMode := flag.Bool("async", false, "submit through the job API with polling instead of synchronous uploads")
+	batch := flag.Int("batch", 0, "coalesce each device's captures into batch submissions of up to N items (POST /api/v1/analyses:batch); 0 or 1 submits one capture per request")
 	captureDuration := flag.Float64("capture-duration", 10, "simulated acquisition length in seconds (bigger = heavier analyses)")
 	apiKey := flag.String("api-key", "", "Authorization: Bearer key sent by every device")
 	retries := flag.Int("retries", 0, "per-device retry attempts honouring Retry-After (0 = report 429s as outcomes instead of retrying)")
@@ -157,6 +163,7 @@ func run() int {
 		CaptureDurationS:  *captureDuration,
 		DedupFraction:     *dedupFrac,
 		Async:             *asyncMode,
+		Batch:             *batch,
 		Uplink:            phone.Default4G(),
 	}
 	if *retries > 0 {

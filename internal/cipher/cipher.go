@@ -358,10 +358,14 @@ func (s *Schedule) Decrypt(peaks []sigproc.Peak, arr electrode.Array) (Decrypted
 	}
 	out.Count = int(math.Round(countF))
 
-	// Resolution pass: window-grouped feature recovery.
+	// Resolution pass: window-grouped feature recovery. The crossing set is
+	// rebuilt for each group's epoch key into one recycled scratch slice
+	// instead of a fresh allocation per group.
+	var crossScratch []electrode.Crossing
 	for i := 0; i < len(sorted); {
 		key := s.KeyAt(sorted[i].Time)
-		crossings := arr.Crossings(key.Active)
+		crossScratch = arr.AppendCrossings(crossScratch[:0], key.Active)
+		crossings := crossScratch
 		if len(crossings) == 0 {
 			i++ // noise in a silent epoch
 			continue

@@ -1,0 +1,30 @@
+package classify
+
+import (
+	"testing"
+
+	"medsen/internal/lockin"
+	"medsen/internal/microfluidic"
+)
+
+// Classify runs once per detected peak on the cloud analysis path; the
+// nearest-centroid call must stay allocation-free (DESIGN.md §6).
+func TestClassifyAllocFree(t *testing.T) {
+	m, err := ReferenceModel(lockin.DefaultCarriersHz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := make(Features, len(m.CarriersHz))
+	props := microfluidic.PropertiesOf(microfluidic.TypeBead358)
+	for i, freq := range m.CarriersHz {
+		f[i] = props.AmplitudeAt(freq)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Classify(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Classify: %v allocs/run, want 0", allocs)
+	}
+}

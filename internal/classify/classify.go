@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"medsen/internal/microfluidic"
 )
@@ -171,13 +170,37 @@ func (m *Model) Classify(f Features) (Result, error) {
 	if len(m.Centroids) == 0 {
 		return Result{}, errors.New("classify: empty model")
 	}
-	lv := logVec(f)
-
-	type scored struct {
-		typ  microfluidic.Type
-		dist float64
+	// Log features land in a stack buffer: the feature space is the
+	// carrier set (8 dimensions on the default device) and Classify runs
+	// once per detected peak, so a heap slice per call is pure overhead.
+	var lvBuf [16]float64
+	var lv []float64
+	if len(f) <= len(lvBuf) {
+		lv = lvBuf[:len(f)]
+	} else {
+		lv = make([]float64, len(f))
 	}
-	scores := make([]scored, 0, len(m.Centroids))
+	for i, v := range f {
+		if v <= 0 {
+			lv[i] = minLogAmplitude
+			continue
+		}
+		w := math.Log(v)
+		if w < minLogAmplitude {
+			w = minLogAmplitude
+		}
+		lv[i] = w
+	}
+
+	// Track winner and runner-up directly using the exact ordering the
+	// previous sort applied — ascending distance, ties broken by type — so
+	// the call and its margin are unchanged for any map iteration order
+	// while the per-call score slice and sort closure disappear.
+	var (
+		bestTyp, secondTyp   microfluidic.Type
+		bestDist, secondDist float64
+		haveBest, haveSecond bool
+	)
 	for typ, c := range m.Centroids {
 		sum := 0.0
 		for d := range c {
@@ -188,17 +211,20 @@ func (m *Model) Classify(f Features) (Result, error) {
 			z := (lv[d] - c[d]) / sd
 			sum += z * z
 		}
-		scores = append(scores, scored{typ, math.Sqrt(sum / float64(len(c)))})
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].dist != scores[j].dist {
-			return scores[i].dist < scores[j].dist
+		dist := math.Sqrt(sum / float64(len(c)))
+		switch {
+		case !haveBest || dist < bestDist || (dist == bestDist && typ < bestTyp):
+			if haveBest {
+				secondTyp, secondDist, haveSecond = bestTyp, bestDist, true
+			}
+			bestTyp, bestDist, haveBest = typ, dist, true
+		case !haveSecond || dist < secondDist || (dist == secondDist && typ < secondTyp):
+			secondTyp, secondDist, haveSecond = typ, dist, true
 		}
-		return scores[i].typ < scores[j].typ
-	})
-	res := Result{Type: scores[0].typ, Distance: scores[0].dist}
-	if len(scores) > 1 {
-		res.Margin = scores[1].dist - scores[0].dist
+	}
+	res := Result{Type: bestTyp, Distance: bestDist}
+	if haveSecond {
+		res.Margin = secondDist - bestDist
 	} else {
 		res.Margin = math.Inf(1)
 	}

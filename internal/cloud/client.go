@@ -252,6 +252,42 @@ func (c *Client) SubmitCompressedKeyed(ctx context.Context, payload []byte, key 
 	return out, err
 }
 
+// BatchSubmission is one capture handed to SubmitBatch. An empty
+// IdempotencyKey derives the payload's content digest, exactly as
+// SubmitCompressed does for a single capture.
+type BatchSubmission struct {
+	Payload        []byte
+	IdempotencyKey string
+}
+
+// SubmitBatch uploads up to MaxBatchItems captures in one
+// POST /api/v1/analyses:batch round trip and returns the per-item status
+// envelope. Every item carries its own idempotency key (content-derived when
+// not supplied), so the request is safe to retry as a whole: a re-sent batch
+// dedups item by item, never storing a capture twice. Spool flushes coalesce
+// through this call (phone.OfflineQueue).
+func (c *Client) SubmitBatch(ctx context.Context, items []BatchSubmission) (BatchResponse, error) {
+	req := BatchRequest{Items: make([]BatchItem, len(items))}
+	for i, it := range items {
+		key := it.IdempotencyKey
+		if key == "" {
+			key = CaptureKey(it.Payload)
+		}
+		req.Items[i] = BatchItem{IdempotencyKey: key, Payload: it.Payload}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("cloud: encoding batch: %w", err)
+	}
+	// The batch endpoint ignores the request-level Idempotency-Key header —
+	// per-item keys carry the dedup semantics — but setting it marks the
+	// request retry-safe to the retry policy, which is exactly right: a
+	// retried batch resolves each item against the dedup index.
+	var out BatchResponse
+	err = c.do(ctx, http.MethodPost, "/api/v1/analyses:batch", body, "application/json", CaptureKey(body), &out, nil)
+	return out, err
+}
+
 // SubmitAcquisition compresses and uploads a capture (idempotently, keyed by
 // the compressed payload's digest).
 func (c *Client) SubmitAcquisition(ctx context.Context, acq lockin.Acquisition) (SubmitResponse, error) {

@@ -61,6 +61,11 @@ func writeMetricsProm(w io.Writer, m Metrics) error {
 	pw.Counter("medsen_permission_denied_total", "Requests refused by RBAC (403).", float64(m.PermissionDenied))
 	pw.Counter("medsen_audit_journal_errors_total", "Audit-trail appends that failed.", float64(m.AuditJournalErrors))
 
+	pw.Counter("medsen_batch_requests_total", "Batch submissions admitted past whole-batch validation.", float64(m.BatchRequests))
+	pw.Counter("medsen_batch_items_total", "Items carried by admitted batch submissions.", float64(m.BatchItems))
+	pw.Counter("medsen_batch_item_errors_total", "Items that failed inside an admitted batch.", float64(m.BatchItemErrors))
+	pw.Counter("medsen_batch_rejected_total", "Whole batches rejected before any item ran.", float64(m.BatchRejected))
+
 	pw.Gauge("medsen_stored_analyses", "Analyses currently stored.", float64(m.StoredAnalyses))
 	pw.Gauge("medsen_enrolled_users", "Identifiers in the enrollment registry.", float64(m.EnrolledUsers))
 	pw.Gauge("medsen_dedup_entries", "Capture keys in the idempotency index.", float64(m.DedupEntries))

@@ -41,6 +41,10 @@ func TestPrometheusMetricNamesArePinned(t *testing.T) {
 		"medsen_auth_denied_total":          promexp.TypeCounter,
 		"medsen_permission_denied_total":    promexp.TypeCounter,
 		"medsen_audit_journal_errors_total": promexp.TypeCounter,
+		"medsen_batch_requests_total":       promexp.TypeCounter,
+		"medsen_batch_items_total":          promexp.TypeCounter,
+		"medsen_batch_item_errors_total":    promexp.TypeCounter,
+		"medsen_batch_rejected_total":       promexp.TypeCounter,
 		"medsen_stored_analyses":            promexp.TypeGauge,
 		"medsen_enrolled_users":             promexp.TypeGauge,
 		"medsen_dedup_entries":              promexp.TypeGauge,

@@ -65,6 +65,21 @@ func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter 
 // allow spends one token from key's bucket. When the bucket is empty it
 // returns false and how long until the next token accrues.
 func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	return l.allowN(key, 1)
+}
+
+// allowN spends n tokens from key's bucket — the batch endpoint charges its
+// item count so a batch weighs the same as the equivalent single submits. The
+// charge is clamped to the bucket capacity so a maximum-size batch costs at
+// most one full burst and can always eventually be admitted.
+func (l *rateLimiter) allowN(key string, n int) (bool, time.Duration) {
+	need := float64(n)
+	if need < 1 {
+		need = 1
+	}
+	if need > l.burst {
+		need = l.burst
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.now()
@@ -88,11 +103,11 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 		b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
 		b.last = now
 	}
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= need {
+		b.tokens -= need
 		return true, 0
 	}
-	return false, time.Duration(math.Ceil((1-b.tokens)/l.rate)) * time.Second
+	return false, time.Duration(math.Ceil((need-b.tokens)/l.rate)) * time.Second
 }
 
 // sweepLocked drops buckets that have fully refilled — clients idle long

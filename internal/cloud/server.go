@@ -405,6 +405,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/analyses", s.handleListAnalyses)
 	mux.HandleFunc("POST /api/v1/analyses", s.handleSubmit)
+	// ":" is a literal character in Go 1.22 mux patterns, so this registers
+	// the distinct path "/api/v1/analyses:batch".
+	mux.HandleFunc("POST /api/v1/analyses:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /api/v1/analyses/{id}", s.handleGetAnalysis)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
@@ -966,6 +969,14 @@ type Metrics struct {
 	AuthDenied         int64 `json:"auth_denied"`
 	PermissionDenied   int64 `json:"permission_denied"`
 	AuditJournalErrors int64 `json:"audit_journal_errors"`
+	// Batch-submission counters: admitted batch requests, items carried by
+	// them, items that failed inside an admitted batch, and whole batches
+	// rejected before any item ran (malformed, oversized, mixed-tenant,
+	// rate-limited or shed).
+	BatchRequests   int64 `json:"batch_requests"`
+	BatchItems      int64 `json:"batch_items"`
+	BatchItemErrors int64 `json:"batch_item_errors"`
+	BatchRejected   int64 `json:"batch_rejected"`
 	// Point-in-time gauges: idempotency index size, jobs waiting for a
 	// worker, the shedder's current queue-wait estimate, and the audit
 	// chain length.

@@ -154,6 +154,10 @@ type RunConfig struct {
 	// Recovered concentrations are multiplied back by this factor;
 	// values < 1 are treated as 1.
 	SampleDilution float64
+	// Workers caps the parallelism of the acquisition render (per-carrier
+	// synthesis). 0 uses GOMAXPROCS, 1 forces serial. Every worker count
+	// produces bitwise-identical output (pinned by the golden tests).
+	Workers int
 }
 
 // amplitudeCalibration compensates the acquisition chain's systematic
@@ -185,6 +189,7 @@ func (c *Controller) RunDiagnostic(ctx context.Context, cfg RunConfig, analyzer 
 		Sample:    cfg.Sample,
 		DurationS: cfg.DurationS,
 		Schedule:  schedule,
+		Workers:   cfg.Workers,
 	}, c.rng)
 	if err != nil {
 		return DiagnosticResult{}, err
@@ -259,8 +264,9 @@ func (c *Controller) partitionCount(dec cipher.Decrypted, refCarrierHz float64) 
 		return dec.Count, 0
 	}
 	beadResolved := 0
+	ref := refAmplitudes(refCarrierHz)
 	for _, p := range dec.Particles {
-		if typ := nearestTypeByAmplitude(p.Amplitude/amplitudeCalibration, refCarrierHz); typ != microfluidic.TypeBloodCell {
+		if typ := ref.nearest(p.Amplitude / amplitudeCalibration); typ != microfluidic.TypeBloodCell {
 			beadResolved++
 		}
 	}
@@ -281,8 +287,9 @@ func (c *Controller) checkIntegrity(id beads.Identifier, dec cipher.Decrypted, r
 		return false
 	}
 	counts := make(map[microfluidic.Type]int)
+	ref := refAmplitudes(refCarrierHz)
 	for _, p := range dec.Particles {
-		counts[nearestTypeByAmplitude(p.Amplitude/amplitudeCalibration, refCarrierHz)]++
+		counts[ref.nearest(p.Amplitude/amplitudeCalibration)]++
 	}
 	// Scale resolved counts to the full decrypted population.
 	scale := float64(dec.Count) / float64(len(dec.Particles))
@@ -298,20 +305,43 @@ func (c *Controller) checkIntegrity(id beads.Identifier, dec cipher.Decrypted, r
 	return id.Equal(c.Alphabet.RecoverIdentifier(measured))
 }
 
-// nearestTypeByAmplitude assigns a single reference-carrier amplitude to the
-// closest particle population in log space (the controller-side, single-
-// feature counterpart of the cloud's multi-carrier classifier).
-func nearestTypeByAmplitude(amp, freqHz float64) microfluidic.Type {
+// ampTable holds the reference amplitude of each particle type at one
+// carrier, indexed by type. Hoisting it out of the per-particle loops avoids
+// recomputing the dielectric response (and copying the type list) for every
+// resolved particle.
+type ampTable [microfluidic.NumTypes + 1]float64
+
+// refAmplitudes evaluates each type's expected amplitude at the given
+// carrier.
+func refAmplitudes(freqHz float64) ampTable {
+	var tab ampTable
+	for t := microfluidic.TypeBloodCell; t <= microfluidic.TypeBead780; t++ {
+		tab[t] = microfluidic.PropertiesOf(t).AmplitudeAt(freqHz)
+	}
+	return tab
+}
+
+// nearest assigns a single reference-carrier amplitude to the closest
+// particle population in log space (the controller-side, single-feature
+// counterpart of the cloud's multi-carrier classifier). Types are visited in
+// ascending order with a strict improvement rule, matching the previous
+// AllTypes()-based loop exactly.
+func (tab *ampTable) nearest(amp float64) microfluidic.Type {
 	best := microfluidic.TypeBloodCell
 	bestDist := -1.0
-	for _, t := range microfluidic.AllTypes() {
-		want := microfluidic.PropertiesOf(t).AmplitudeAt(freqHz)
-		d := logDist(amp, want)
+	for t := microfluidic.TypeBloodCell; t <= microfluidic.TypeBead780; t++ {
+		d := logDist(amp, tab[t])
 		if bestDist < 0 || d < bestDist {
 			best, bestDist = t, d
 		}
 	}
 	return best
+}
+
+// nearestTypeByAmplitude is the one-shot form of ampTable.nearest.
+func nearestTypeByAmplitude(amp, freqHz float64) microfluidic.Type {
+	tab := refAmplitudes(freqHz)
+	return tab.nearest(amp)
 }
 
 func logDist(a, b float64) float64 {

@@ -1,0 +1,56 @@
+package electrode
+
+import (
+	"testing"
+
+	"medsen/internal/microfluidic"
+)
+
+// The crossing-set and pulse-expansion paths run per peak group and per
+// transit on the local-diagnostic hot path; these pins keep them from
+// regressing back to allocation-per-call (DESIGN.md §6).
+
+func TestAppendCrossingsReuseAllocFree(t *testing.T) {
+	arr := MustArray(9)
+	active := make([]bool, 9)
+	for i := range active {
+		active[i] = i%2 == 0
+	}
+	scratch := arr.Crossings(nil) // warm the scratch to full-mask capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = arr.AppendCrossings(scratch[:0], active)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendCrossings into warm scratch: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestCrossingsSingleAlloc(t *testing.T) {
+	arr := MustArray(9)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = arr.Crossings(nil)
+	})
+	if allocs > 1 {
+		t.Fatalf("Crossings(nil): %v allocs/run, want <= 1 (exact-size result only)", allocs)
+	}
+}
+
+func TestPulsesForTransitSingleAlloc(t *testing.T) {
+	arr := MustArray(9)
+	active := make([]bool, 9)
+	for i := range active {
+		active[i] = true
+	}
+	tr := microfluidic.Transit{
+		Type:        microfluidic.TypeBead358,
+		EntryS:      1.0,
+		VelocityUmS: 2200,
+		SizeScale:   1,
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = arr.PulsesForTransit(tr, 500e3, active, nil, 1)
+	})
+	if allocs > 1 {
+		t.Fatalf("PulsesForTransit: %v allocs/run, want <= 1 (exact-size result only)", allocs)
+	}
+}

@@ -11,7 +11,6 @@ package electrode
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"medsen/internal/microfluidic"
 )
@@ -124,17 +123,52 @@ type Crossing struct {
 // contribute. The lead electrode (index 0) contributes one crossing, every
 // other output two.
 func (a Array) Crossings(active []bool) []Crossing {
-	var out []Crossing
+	return a.AppendCrossings(nil, active)
+}
+
+// AppendCrossings is Crossings appending into dst (which may be nil or a
+// recycled slice with spare capacity), for callers that build crossing sets
+// repeatedly — the schedule decryptor resolves one set per epoch group, and
+// a fresh sorted slice per group was a measurable share of its cost.
+func (a Array) AppendCrossings(dst []Crossing, active []bool) []Crossing {
+	start := len(dst)
+	if dst == nil {
+		n := 0
+		for i := 0; i < a.NumOutputs; i++ {
+			if active == nil || (i < len(active) && active[i]) {
+				n += crossingsPerOutput(i)
+			}
+		}
+		dst = make([]Crossing, 0, n)
+	}
 	for i := 0; i < a.NumOutputs; i++ {
 		if active != nil && (i >= len(active) || !active[i]) {
 			continue
 		}
-		for _, off := range a.crossingOffsetsUm(i) {
-			out = append(out, Crossing{OffsetUm: off, Electrode: i})
+		offs, n := a.crossingOffsetsUm(i)
+		for _, off := range offs[:n] {
+			dst = append(dst, Crossing{OffsetUm: off, Electrode: i})
 		}
 	}
-	sort.Slice(out, func(x, y int) bool { return out[x].OffsetUm < out[y].OffsetUm })
-	return out
+	// Construction order is already geometric for any positive pitch (gap
+	// centers grow strictly with the electrode index), so this insertion
+	// sort is a linear confirmation scan — and unlike sort.Sort it does not
+	// box the slice into an interface, keeping the call allocation-free.
+	out := dst[start:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].OffsetUm < out[j-1].OffsetUm; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return dst
+}
+
+// crossingsPerOutput returns how many gap crossings output idx produces.
+func crossingsPerOutput(idx int) int {
+	if idx == 0 {
+		return 1
+	}
+	return 2
 }
 
 // SpanUm returns the sensing span of one electrode pair.
@@ -172,16 +206,16 @@ func (a Array) PeaksPerParticle(active []bool) int {
 
 // crossingOffsetsUm returns the positions (µm from the particle's entry into
 // the sensing region) at which output electrode idx registers a voltage
-// drop.
-func (a Array) crossingOffsetsUm(idx int) []float64 {
+// drop: the first n entries of the returned buffer are valid.
+func (a Array) crossingOffsetsUm(idx int) ([2]float64, int) {
 	// Output idx sits at slot 2·idx+1 within the interleaved rake; its
 	// gap centers are half a pitch to each side.
 	center := float64(2*idx+1) * a.PitchUm
 	if idx == 0 {
 		// Lead electrode: excitation neighbour on the right side only.
-		return []float64{center + a.PitchUm/2}
+		return [2]float64{center + a.PitchUm/2}, 1
 	}
-	return []float64{center - a.PitchUm/2, center + a.PitchUm/2}
+	return [2]float64{center - a.PitchUm/2, center + a.PitchUm/2}, 2
 }
 
 // Pulse is a single voltage-drop event produced by one particle crossing one
@@ -230,7 +264,7 @@ func (a Array) PulsesForTransit(
 	// 2.2 mm/s of §VII-A).
 	sigma := a.PulseSigmaS(v)
 
-	var pulses []Pulse
+	pulses := make([]Pulse, 0, a.PeaksPerParticle(active))
 	for i := 0; i < a.NumOutputs && i < len(active); i++ {
 		if !active[i] {
 			continue
@@ -239,7 +273,8 @@ func (a Array) PulsesForTransit(
 		if gains != nil && i < len(gains) {
 			gain = gains[i]
 		}
-		for _, off := range a.crossingOffsetsUm(i) {
+		offs, n := a.crossingOffsetsUm(i)
+		for _, off := range offs[:n] {
 			pulses = append(pulses, Pulse{
 				TimeS:     tr.EntryS + off/v,
 				Amplitude: baseAmp * gain,

@@ -64,6 +64,14 @@ type Config struct {
 	// Async routes submissions through the job API with polling instead of
 	// the synchronous upload.
 	Async bool
+	// Batch, when > 1, coalesces each device's captures into
+	// POST /api/v1/analyses:batch requests of up to this many items instead
+	// of submitting them one by one. Per-item idempotency keys (and the
+	// dedup draw) are unchanged, so the exactly-once accounting is identical
+	// to the single-submit modes; what changes is the amortization — one
+	// HTTP round trip and one admission decision per batch. Capped at
+	// cloud.MaxBatchItems. Mutually exclusive with Async.
+	Batch int
 	// PollInterval paces async polls (0 → client default).
 	PollInterval time.Duration
 	// Uplink models the cellular link (zero value: no simulated transfer
@@ -107,12 +115,19 @@ type Result struct {
 	// retrievable afterwards — the number that must be zero.
 	CaptureLoss int `json:"capture_loss"`
 
+	// BatchRequests counts batch round trips for batch-mode runs (zero
+	// otherwise). Captures/Succeeded stay item-level, so
+	// Captures/BatchRequests is the measured amortization factor.
+	BatchRequests int `json:"batch_requests,omitempty"`
+
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// ThroughputPerSec is Succeeded / Elapsed.
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
 
 	// Submit latency over successful submissions (wall clock per
-	// submission, including polling for async runs).
+	// submission, including polling for async runs). Batch-mode runs record
+	// one sample per batch round trip — the latency a spool flush or bulk
+	// re-upload actually experiences.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
@@ -142,6 +157,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	if cfg.DedupFraction < 0 || cfg.DedupFraction > 1 {
 		return Result{}, fmt.Errorf("loadgen: DedupFraction %g outside [0,1]", cfg.DedupFraction)
+	}
+	if cfg.Batch > cloud.MaxBatchItems {
+		return Result{}, fmt.Errorf("loadgen: Batch %d exceeds the service's per-request cap %d", cfg.Batch, cloud.MaxBatchItems)
+	}
+	if cfg.Batch > 1 && cfg.Async {
+		return Result{}, errors.New("loadgen: Batch and Async are mutually exclusive")
 	}
 	progress := cfg.Progress
 	if progress == nil {
@@ -194,36 +215,84 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			if payload == nil {
 				payload = payloads[dev]
 			}
-			r := deviceRelay(cfg, dev)
 			rng := drbg.NewFromSeed(cfg.Seed ^ (0x9E3779B97F4A7C15 * uint64(dev+1)))
 			prevKey := ""
 			var local struct {
 				latencies []time.Duration
 				ids       []string
 				outcomes  outcomeCounts
+				batches   int
 			}
-			for c := 0; c < cfg.CapturesPerDevice; c++ {
-				if ctx.Err() != nil {
-					return
-				}
+			// nextKey draws the submission's idempotency key: fresh per
+			// capture index, with a DedupFraction chance of retransmitting
+			// the previous one. Identical across submit modes, so batch and
+			// single-submit runs of the same seed exercise the same keys.
+			nextKey := func(c int) string {
 				key := fmt.Sprintf("loadgen:%d:d%d:c%d", cfg.Seed, dev, c)
 				if prevKey != "" && rng.Float64() < cfg.DedupFraction {
 					key = prevKey // simulated retransmit of the previous capture
 				}
 				prevKey = key
-				t0 := time.Now()
-				sub, err := r.SubmitKeyed(ctx, payload, key)
-				if err != nil {
-					local.outcomes.classify(err)
-					continue
-				}
-				local.latencies = append(local.latencies, time.Since(t0))
-				local.ids = append(local.ids, sub.ID)
+				return key
 			}
-			m := r.Metrics()
+			var m phone.RelayMetrics
+			if cfg.Batch > 1 {
+				client := deviceClient(cfg, dev)
+				for c := 0; c < cfg.CapturesPerDevice; {
+					if ctx.Err() != nil {
+						return
+					}
+					n := cfg.Batch
+					if rem := cfg.CapturesPerDevice - c; rem < n {
+						n = rem
+					}
+					items := make([]cloud.BatchSubmission, n)
+					for j := range items {
+						items[j] = cloud.BatchSubmission{Payload: payload, IdempotencyKey: nextKey(c + j)}
+					}
+					c += n
+					t0 := time.Now()
+					resp, err := client.SubmitBatch(ctx, items)
+					local.batches++
+					if err != nil {
+						// A whole-batch rejection (transport failure, 429,
+						// shed) fails every capture it carried.
+						for range items {
+							local.outcomes.classify(err)
+						}
+						continue
+					}
+					local.latencies = append(local.latencies, time.Since(t0))
+					for _, ir := range resp.Results {
+						if ir.OK() {
+							local.ids = append(local.ids, ir.ID)
+						} else {
+							local.outcomes.classifyItem(ir)
+						}
+					}
+				}
+			} else {
+				r := deviceRelay(cfg, dev)
+				for c := 0; c < cfg.CapturesPerDevice; c++ {
+					if ctx.Err() != nil {
+						return
+					}
+					key := nextKey(c)
+					t0 := time.Now()
+					sub, err := r.SubmitKeyed(ctx, payload, key)
+					if err != nil {
+						local.outcomes.classify(err)
+						continue
+					}
+					local.latencies = append(local.latencies, time.Since(t0))
+					local.ids = append(local.ids, sub.ID)
+				}
+				m = r.Metrics()
+			}
 			mu.Lock()
 			res.Captures += cfg.CapturesPerDevice
 			res.Succeeded += len(local.ids)
+			res.BatchRequests += local.batches
 			local.outcomes.addTo(&res)
 			latencies = append(latencies, local.latencies...)
 			for _, id := range local.ids {
@@ -299,6 +368,22 @@ func (o *outcomeCounts) classify(err error) {
 	}
 }
 
+// classifyItem is classify for a batch item's per-slot verdict. The only
+// admission outcome that can reach an individual slot is a duplicate-in-flight
+// race (whole-batch outcomes — rate limiting, shedding — reject the request
+// before any item runs and go through classify instead).
+func (o *outcomeCounts) classifyItem(res cloud.BatchItemResult) {
+	code := ""
+	if res.Error != nil {
+		code = res.Error.Code
+	}
+	if code == cloud.CodeDuplicateInFlight {
+		o.dupInFlight++
+		return
+	}
+	o.other++
+}
+
 func (o outcomeCounts) addTo(res *Result) {
 	res.RateLimited += o.rateLimited
 	res.Overloaded += o.overloaded
@@ -307,9 +392,9 @@ func (o outcomeCounts) addTo(res *Result) {
 	res.OtherErrors += o.other
 }
 
-// deviceRelay builds one simulated phone around its own HTTP client (and,
-// when configured, its own seeded fault injector).
-func deviceRelay(cfg Config, dev int) *phone.Relay {
+// deviceClient builds one device's HTTP client (and, when configured, its own
+// seeded fault injector) — the transport both submit modes share.
+func deviceClient(cfg Config, dev int) *cloud.Client {
 	client := &cloud.Client{
 		BaseURL:  cfg.BaseURL,
 		APIKey:   cfg.APIKey,
@@ -321,8 +406,13 @@ func deviceRelay(cfg Config, dev int) *phone.Relay {
 		fc.Seed = int64(cfg.Seed) + int64(dev)*7919
 		client.HTTPClient = &http.Client{Transport: faultinject.NewRoundTripper(nil, fc)}
 	}
+	return client
+}
+
+// deviceRelay builds one simulated phone around its own HTTP client.
+func deviceRelay(cfg Config, dev int) *phone.Relay {
 	return &phone.Relay{
-		Client:       client,
+		Client:       deviceClient(cfg, dev),
 		Uplink:       cfg.Uplink,
 		Async:        cfg.Async,
 		PollInterval: cfg.PollInterval,
@@ -384,6 +474,10 @@ func diffMetrics(before, after cloud.Metrics) cloud.Metrics {
 	d.Shed -= before.Shed
 	d.DedupHits -= before.DedupHits
 	d.DedupJournalErrors -= before.DedupJournalErrors
+	d.BatchRequests -= before.BatchRequests
+	d.BatchItems -= before.BatchItems
+	d.BatchItemErrors -= before.BatchItemErrors
+	d.BatchRejected -= before.BatchRejected
 	d.AuthDenied -= before.AuthDenied
 	d.PermissionDenied -= before.PermissionDenied
 	d.AuditJournalErrors -= before.AuditJournalErrors
@@ -405,6 +499,7 @@ func (r Result) WritePrometheus(w io.Writer) error {
 	pw.Counter("medsen_loadgen_queue_full_total", "Submissions bounced by the queue-depth bound.", float64(r.QueueFull))
 	pw.Counter("medsen_loadgen_duplicate_in_flight_total", "Submissions answered 409 while the owning job ran.", float64(r.DuplicateInFlight))
 	pw.Counter("medsen_loadgen_other_errors_total", "Submissions failed for any other reason.", float64(r.OtherErrors))
+	pw.Counter("medsen_loadgen_batch_requests_total", "Batch round trips for batch-mode runs.", float64(r.BatchRequests))
 	pw.Counter("medsen_loadgen_dedup_hits_total", "Successful submissions absorbed by the idempotency index.", float64(r.DedupHits))
 	pw.Counter("medsen_loadgen_capture_loss_total", "Acknowledged analyses that were not retrievable afterwards.", float64(r.CaptureLoss))
 	pw.Gauge("medsen_loadgen_unique_analyses", "Distinct analyses the run's successes resolved to.", float64(r.UniqueAnalyses))
@@ -431,6 +526,10 @@ func (r Result) Summary() string {
 	add("dup in flight      %d", r.DuplicateInFlight)
 	add("other errors       %d", r.OtherErrors)
 	add("capture loss       %d", r.CaptureLoss)
+	if r.BatchRequests > 0 {
+		add("batch round trips  %d (%.1f captures/request)", r.BatchRequests,
+			float64(r.Captures)/float64(r.BatchRequests))
+	}
 	add("elapsed            %v", r.Elapsed.Round(time.Millisecond))
 	add("throughput         %.1f/s", r.ThroughputPerSec)
 	add("latency p50/p95/p99/max  %v / %v / %v / %v",

@@ -112,6 +112,87 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadgenBatchMode coalesces each device's captures into batch
+// submissions and checks the item-level accounting is identical to the
+// single-submit mode: every capture resolves, retransmitted keys dedup, and
+// the round-trip count shows the amortization (ceil(captures/batch) requests
+// per device).
+func TestLoadgenBatchMode(t *testing.T) {
+	_, url := hostService(t, cloud.ServiceConfig{})
+	res, err := Run(context.Background(), Config{
+		BaseURL:           url,
+		Devices:           4,
+		CapturesPerDevice: 5,
+		Seed:              42,
+		SharedCapture:     true,
+		DedupFraction:     0.25,
+		Batch:             3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Captures != 20 || res.Succeeded != 20 {
+		t.Fatalf("captures/succeeded = %d/%d, want 20/20", res.Captures, res.Succeeded)
+	}
+	if res.CaptureLoss != 0 {
+		t.Fatalf("capture loss = %d, want 0", res.CaptureLoss)
+	}
+	// 5 captures in batches of 3 is 2 round trips per device.
+	if res.BatchRequests != 8 {
+		t.Fatalf("batch requests = %d, want 8", res.BatchRequests)
+	}
+	if res.DedupHits == 0 {
+		t.Fatal("DedupFraction 0.25 over 20 submissions produced no dedup hits")
+	}
+	if res.UniqueAnalyses+res.DedupHits != res.Succeeded {
+		t.Fatalf("unique %d + dedup %d != succeeded %d", res.UniqueAnalyses, res.DedupHits, res.Succeeded)
+	}
+	// Server ground truth: every unique analysis was stored exactly once and
+	// every retransmit was absorbed by the dedup index.
+	if res.Server == nil {
+		t.Fatal("no server counter deltas despite a reachable /metrics")
+	}
+	if int(res.Server.Uploads) != res.UniqueAnalyses {
+		t.Fatalf("server uploads %d != unique analyses %d", res.Server.Uploads, res.UniqueAnalyses)
+	}
+	if int(res.Server.DedupHits) != res.DedupHits {
+		t.Fatalf("server dedup hits %d != client %d", res.Server.DedupHits, res.DedupHits)
+	}
+	if got := int(res.Server.BatchRequests); got != res.BatchRequests {
+		t.Fatalf("server batch requests %d != client %d", got, res.BatchRequests)
+	}
+	if got := int(res.Server.BatchItems); got != res.Captures {
+		t.Fatalf("server batch items %d != captures %d", got, res.Captures)
+	}
+
+	// One latency sample per round trip, and the quantiles still order.
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyMax {
+		t.Fatalf("latency quantiles out of order: %v/%v", res.LatencyP50, res.LatencyMax)
+	}
+	var buf bytes.Buffer
+	if err := res.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := promexp.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("loadgen exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if f := fams["medsen_loadgen_batch_requests_total"]; f == nil || int(f.Samples[0].Value) != 8 {
+		t.Fatalf("batch-requests family = %+v", f)
+	}
+}
+
+// TestLoadgenBatchModeRejectsBadConfig pins the validation seams: a batch
+// beyond the service cap and a batch+async combination both fail fast.
+func TestLoadgenBatchModeRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Devices: 1, Batch: cloud.MaxBatchItems + 1}); err == nil {
+		t.Fatal("oversized Batch accepted")
+	}
+	if _, err := Run(context.Background(), Config{Devices: 1, Batch: 2, Async: true}); err == nil {
+		t.Fatal("Batch+Async accepted")
+	}
+}
+
 // TestLoadgenAsyncMode drives the job API end to end: submissions enqueue,
 // poll, and resolve with no loss.
 func TestLoadgenAsyncMode(t *testing.T) {

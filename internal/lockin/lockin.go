@@ -13,6 +13,8 @@ package lockin
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"medsen/internal/drbg"
 	"medsen/internal/electrode"
@@ -126,6 +128,25 @@ func (a Acquisition) Duration() float64 {
 	return a.Traces[0].Duration()
 }
 
+// renderScratch holds the per-render working memory that never escapes:
+// the shared drift baseline and the pre-drawn noise arena. Pooled contents
+// are fully overwritten before every use (DESIGN.md §6 rule 1).
+type renderScratch struct {
+	baseline []float64
+	noise    []float64
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderScratch) }}
+
+// growFloats returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers overwrite every element.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Render converts per-carrier pulse event lists into a sampled multi-carrier
 // acquisition. pulsesByCarrier[i] holds the voltage-drop events for
 // carriersHz[i]; durationS is the capture window. rng supplies front-end
@@ -136,6 +157,24 @@ func Render(
 	durationS float64,
 	cfg Config,
 	rng *drbg.DRBG,
+) (Acquisition, error) {
+	return RenderWorkers(carriersHz, pulsesByCarrier, durationS, cfg, rng, 1)
+}
+
+// RenderWorkers is Render with explicit carrier-level parallelism: workers
+// caps the number of goroutines synthesizing carriers (0 = GOMAXPROCS,
+// 1 = serial). Every worker count produces bitwise-identical traces: the
+// front-end noise — the only DRBG consumer — is drawn serially into an
+// arena in carrier order first, and each carrier's synthesis then runs
+// independently over disjoint output slices with the exact arithmetic of
+// the serial path.
+func RenderWorkers(
+	carriersHz []float64,
+	pulsesByCarrier [][]electrode.Pulse,
+	durationS float64,
+	cfg Config,
+	rng *drbg.DRBG,
+	workers int,
 ) (Acquisition, error) {
 	if err := cfg.Validate(); err != nil {
 		return Acquisition{}, err
@@ -155,20 +194,44 @@ func Render(
 		return Acquisition{}, fmt.Errorf("lockin: duration %v too short for rate %v", durationS, cfg.SampleRateHz)
 	}
 
+	nc := len(carriersHz)
 	acq := Acquisition{
 		CarriersHz: append([]float64(nil), carriersHz...),
-		Traces:     make([]sigproc.Trace, len(carriersHz)),
+		Traces:     make([]sigproc.Trace, nc),
 	}
+	// One backing array serves every carrier's output trace: the traces
+	// are results (they outlive the call), but nc allocations collapse
+	// into one and the samples stay cache-adjacent.
+	backing := make([]float64, nc*n)
+
+	scratch := renderPool.Get().(*renderScratch)
+	defer renderPool.Put(scratch)
+
 	// The drift baseline depends only on the sample clock, which every
 	// carrier shares: evaluate it once and seed each carrier with a copy
 	// (bitwise identical to evaluating per carrier, at 1/len(carriers) the
 	// trig cost).
-	baseline := make([]float64, n)
+	scratch.baseline = growFloats(scratch.baseline, n)
+	baseline := scratch.baseline
 	for i := range baseline {
 		baseline[i] = cfg.Drift.baselineAt(float64(i) / cfg.SampleRateHz)
 	}
-	for ci := range carriersHz {
-		samples := make([]float64, n)
+
+	// Front-end noise is the only DRBG consumer in the render: draw it
+	// serially, in carrier order, so the stream consumption (and thus the
+	// output) is identical for every worker count.
+	withNoise := rng != nil && cfg.NoiseSigma > 0
+	var noise []float64
+	if withNoise {
+		scratch.noise = growFloats(scratch.noise, nc*n)
+		noise = scratch.noise
+		for i := range noise {
+			noise[i] = rng.NormFloat64()
+		}
+	}
+
+	renderCarrier := func(ci int) {
+		samples := backing[ci*n : (ci+1)*n : (ci+1)*n]
 		copy(samples, baseline)
 		// Superimpose Gaussian dips; each pulse touches only ±4σ.
 		for _, p := range pulsesByCarrier[ci] {
@@ -189,16 +252,41 @@ func Render(
 				samples[i] -= p.Amplitude * math.Exp(-0.5*d*d) * samples[i]
 			}
 		}
-		// Front-end noise after demodulation.
-		if rng != nil && cfg.NoiseSigma > 0 {
+		// Front-end noise after demodulation, from the pre-drawn arena.
+		if withNoise {
+			cn := noise[ci*n : (ci+1)*n]
 			for i := range samples {
-				samples[i] += cfg.NoiseSigma * rng.NormFloat64()
+				samples[i] += cfg.NoiseSigma * cn[i]
 			}
 		}
 		tr := sigproc.Trace{Rate: cfg.SampleRateHz, Samples: samples}
 		// The output low-pass filter shapes the noise floor.
-		tr = sigproc.LowPass(tr, cfg.CutoffHz)
+		sigproc.LowPassInPlace(tr, cfg.CutoffHz)
 		acq.Traces[ci] = tr
 	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nc; ci++ {
+			renderCarrier(ci)
+		}
+		return acq, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < nc; ci += workers {
+				renderCarrier(ci)
+			}
+		}(w)
+	}
+	wg.Wait()
 	return acq, nil
 }

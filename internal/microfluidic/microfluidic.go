@@ -46,9 +46,21 @@ func (t Type) String() string {
 	}
 }
 
-// AllTypes lists every supported particle type in a stable order.
+// allTypes is the closed particle-type enum in stable (ascending) order.
+// NumTypes and the array-backed properties table are sized from it.
+var allTypes = [...]Type{TypeBloodCell, TypeBead358, TypeBead780}
+
+// NumTypes is the number of supported particle types.
+const NumTypes = 3
+
+// AllTypes lists every supported particle type in a stable order. The
+// returned slice is a fresh copy; callers may keep or mutate it. Hot paths
+// that only iterate should prefer a fixed loop over TypeBloodCell..Bead780
+// (see controller.nearestTypeByAmplitude) to avoid the allocation.
 func AllTypes() []Type {
-	return []Type{TypeBloodCell, TypeBead358, TypeBead780}
+	out := make([]Type, len(allTypes))
+	copy(out, allTypes[:])
+	return out
 }
 
 // TypeFromName parses the String form of a particle type (the wire format
@@ -84,10 +96,12 @@ type Properties struct {
 	AdsorptionFraction float64
 }
 
-// propertiesTable holds the calibrated per-type parameters. The amplitude
-// ratios (1× / 2× / 4×) and the ≥2 MHz blood-cell roll-off reproduce the
-// spectra of Fig. 15 and the clusters of Fig. 16.
-var propertiesTable = map[Type]Properties{
+// propertiesTable holds the calibrated per-type parameters, indexed by Type
+// (an array rather than a map: PropertiesOf sits inside the per-pulse loops
+// of the sensor and controller, where a map lookup per call is measurable).
+// The amplitude ratios (1× / 2× / 4×) and the ≥2 MHz blood-cell roll-off
+// reproduce the spectra of Fig. 15 and the clusters of Fig. 16.
+var propertiesTable = [NumTypes + 1]Properties{
 	TypeBloodCell: {
 		Name:               "blood-cell",
 		DiameterUm:         6.2,
@@ -118,11 +132,10 @@ var propertiesTable = map[Type]Properties{
 // panics for unknown types: particle types are a closed enum and an unknown
 // value marks a programming error, not a runtime condition.
 func PropertiesOf(t Type) Properties {
-	p, ok := propertiesTable[t]
-	if !ok {
+	if t < TypeBloodCell || t > TypeBead780 {
 		panic(fmt.Sprintf("microfluidic: unknown particle type %d", int(t)))
 	}
-	return p
+	return propertiesTable[t]
 }
 
 // AmplitudeAt returns the fractional impedance drop this particle type
@@ -351,15 +364,32 @@ func GenerateTransits(cfg GenerateConfig, rng *drbg.DRBG) ([]Transit, error) {
 	}
 	meanV := cfg.Channel.VelocityUmS()
 
-	var transits []Transit
 	flowPerSec := cfg.Channel.FlowRateUlMin / 60 // µL/s
 	// Stable iteration order over the concentration map keeps generation
-	// deterministic for a fixed seed.
-	types := make([]Type, 0, len(cfg.Sample.ConcentrationPerUl))
+	// deterministic for a fixed seed. The type count is tiny (the enum has
+	// NumTypes members), so an insertion sort over a stack buffer replaces
+	// the closure-allocating sort.Slice of the original.
+	var typesBuf [NumTypes + 1]Type
+	types := typesBuf[:0]
 	for t := range cfg.Sample.ConcentrationPerUl {
 		types = append(types, t)
 	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for i := 1; i < len(types); i++ {
+		for j := i; j > 0 && types[j] < types[j-1]; j-- {
+			types[j], types[j-1] = types[j-1], types[j]
+		}
+	}
+
+	// Pre-size the transit slice from the expected arrival count (rate ×
+	// window, before thinning) plus CLT headroom, so the append loop almost
+	// never regrows. Exact length is set by the draws themselves.
+	expected := 0.0
+	for _, t := range types {
+		if conc := cfg.Sample.ConcentrationPerUl[t]; conc > 0 {
+			expected += conc * flowPerSec * cfg.DurationS
+		}
+	}
+	transits := make([]Transit, 0, int(expected+4*math.Sqrt(expected))+16)
 
 	for _, t := range types {
 		conc := cfg.Sample.ConcentrationPerUl[t]
@@ -398,9 +428,20 @@ func GenerateTransits(cfg GenerateConfig, rng *drbg.DRBG) ([]Transit, error) {
 			})
 		}
 	}
-	sort.Slice(transits, func(i, j int) bool { return transits[i].EntryS < transits[j].EntryS })
+	// Concrete sort.Interface instead of sort.Slice: same pdqsort, same
+	// comparison/swap sequence (ties are impossible — entry times are
+	// distinct float64 draws), without the per-call closure and reflection
+	// swapper allocations.
+	sort.Sort(transitsByEntry(transits))
 	return transits, nil
 }
+
+// transitsByEntry sorts transits by ascending entry time.
+type transitsByEntry []Transit
+
+func (s transitsByEntry) Len() int           { return len(s) }
+func (s transitsByEntry) Less(i, j int) bool { return s[i].EntryS < s[j].EntryS }
+func (s transitsByEntry) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // CountByType tallies transits per particle type.
 func CountByType(transits []Transit) map[Type]int {

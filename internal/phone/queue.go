@@ -162,13 +162,30 @@ func permanentUploadError(err error) bool {
 		errors.Is(err, cloud.ErrPayloadTooLarge)
 }
 
-// Flush uploads spooled entries in order through the client, deleting each
-// on success. An entry that cannot be read back or that the service
-// permanently rejects is parked aside with a .bad suffix — one corrupt spool
-// file must not wedge every capture behind it — and flushing continues.
-// Transient failures (transport errors, 5xx) stop the flush as before:
-// connectivity is presumably still bad. It reports how many entries were
-// shipped.
+// permanentItemCode is permanentUploadError for a batch item's error code.
+func permanentItemCode(code string) bool {
+	switch code {
+	case cloud.CodeInvalidRequest, cloud.CodeUnprocessable, cloud.CodePayloadTooLarge:
+		return true
+	}
+	return false
+}
+
+// flushBatchSize is how many spooled entries one flush round trip carries.
+// Well under the service's batch-item cap, so a flush is never rejected for
+// size, and small enough that one response envelope stays cheap to buffer.
+const flushBatchSize = 16
+
+// Flush uploads spooled entries in order, coalescing up to flushBatchSize of
+// them per POST /api/v1/analyses:batch round trip — a backlog accumulated
+// during an outage ships with one HTTP request and one admission decision per
+// batch instead of per capture — and deletes each on success. An entry that
+// cannot be read back or that the service permanently rejects (per-item
+// verdict) is parked aside with a .bad suffix — one corrupt spool file must
+// not wedge every capture behind it — and flushing continues. Transient
+// failures (transport errors, 5xx, a transient per-item verdict) stop the
+// flush as before: connectivity is presumably still bad, and spool order is
+// preserved. It reports how many entries were shipped.
 func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, error) {
 	if client == nil {
 		return 0, errors.New("phone: flush needs a cloud client")
@@ -178,32 +195,72 @@ func (q *OfflineQueue) Flush(ctx context.Context, client *cloud.Client) (int, er
 		return 0, err
 	}
 	flushed := 0
-	for _, name := range names {
-		path := filepath.Join(q.Dir, name)
-		payload, err := q.fs().ReadFile(path)
-		if err != nil {
-			if perr := q.park(name); perr != nil {
-				return flushed, fmt.Errorf("phone: parking unreadable entry %s: %w", name, perr)
-			}
-			continue
+	for len(names) > 0 {
+		chunk := names
+		if len(chunk) > flushBatchSize {
+			chunk = chunk[:flushBatchSize]
 		}
-		// The content-derived key makes replays harmless: an entry the
-		// service already analyzed (a crash between the upload and the
-		// spool-file removal, or an ambiguous torn response) dedups to the
-		// original analysis instead of double-counting the capture.
-		if _, err := client.SubmitCompressedKeyed(ctx, payload, cloud.CaptureKey(payload)); err != nil {
-			if permanentUploadError(err) {
+		names = names[len(chunk):]
+
+		// Read the chunk back, parking entries the disk refuses to return.
+		items := make([]cloud.BatchSubmission, 0, len(chunk))
+		itemNames := make([]string, 0, len(chunk))
+		for _, name := range chunk {
+			payload, err := q.fs().ReadFile(filepath.Join(q.Dir, name))
+			if err != nil {
 				if perr := q.park(name); perr != nil {
-					return flushed, fmt.Errorf("phone: parking rejected entry %s: %w", name, perr)
+					return flushed, fmt.Errorf("phone: parking unreadable entry %s: %w", name, perr)
 				}
 				continue
 			}
-			return flushed, fmt.Errorf("phone: flushing %s: %w", name, err)
+			// The content-derived key makes replays harmless: an entry the
+			// service already analyzed (a crash between the upload and the
+			// spool-file removal, or an ambiguous torn response) dedups to the
+			// original analysis instead of double-counting the capture.
+			items = append(items, cloud.BatchSubmission{
+				Payload:        payload,
+				IdempotencyKey: cloud.CaptureKey(payload),
+			})
+			itemNames = append(itemNames, name)
 		}
-		if err := q.fs().Remove(path); err != nil {
-			return flushed, fmt.Errorf("phone: removing flushed entry %s: %w", name, err)
+		if len(items) == 0 {
+			continue
 		}
-		flushed++
+		resp, err := client.SubmitBatch(ctx, items)
+		if err != nil {
+			return flushed, fmt.Errorf("phone: flushing batch of %d: %w", len(items), err)
+		}
+		var transientErr error
+		for _, res := range resp.Results {
+			if res.Index < 0 || res.Index >= len(itemNames) {
+				continue
+			}
+			name := itemNames[res.Index]
+			switch {
+			case res.OK():
+				if err := q.fs().Remove(filepath.Join(q.Dir, name)); err != nil {
+					return flushed, fmt.Errorf("phone: removing flushed entry %s: %w", name, err)
+				}
+				flushed++
+			case res.Error != nil && permanentItemCode(res.Error.Code):
+				if perr := q.park(name); perr != nil {
+					return flushed, fmt.Errorf("phone: parking rejected entry %s: %w", name, perr)
+				}
+			default:
+				// Transient per-item verdict (duplicate in flight, internal
+				// error): the entry stays spooled for the next flush.
+				if transientErr == nil {
+					code := cloud.CodeInternal
+					if res.Error != nil {
+						code = res.Error.Code
+					}
+					transientErr = fmt.Errorf("phone: flushing %s: item deferred (%s)", name, code)
+				}
+			}
+		}
+		if transientErr != nil {
+			return flushed, transientErr
+		}
 	}
 	return flushed, nil
 }

@@ -677,6 +677,24 @@ func LowPass(t Trace, cutoffHz float64) Trace {
 	return Trace{Rate: t.Rate, Samples: out}
 }
 
+// LowPassInPlace applies the same single-pole IIR filter as LowPass but
+// overwrites t.Samples instead of allocating an output trace. The recurrence
+// only reads out[i-1] (already written) and t.Samples[i] (not yet written),
+// so filtering in place computes bitwise-identical values; the acquisition
+// render uses this to avoid one trace-sized allocation per carrier.
+func LowPassInPlace(t Trace, cutoffHz float64) {
+	if cutoffHz <= 0 || t.Rate <= 0 || len(t.Samples) == 0 {
+		return
+	}
+	dt := 1 / t.Rate
+	rc := 1 / (2 * math.Pi * cutoffHz)
+	alpha := dt / (rc + dt)
+	s := t.Samples
+	for i := 1; i < len(s); i++ {
+		s[i] = s[i-1] + alpha*(s[i]-s[i-1])
+	}
+}
+
 // MovingAverage smooths the trace with a centered window of the given odd
 // length; an even length is rounded up.
 func MovingAverage(t Trace, window int) Trace {
